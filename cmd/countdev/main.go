@@ -1,0 +1,97 @@
+// Command countdev inspects the §II.C counting device cycle by cycle: it
+// replays a deterministic request script against one device and prints the
+// in_reg/out_reg bit patterns after every clock cycle, making the
+// phase-1/phase-2 trimming of the pseudocode visible.
+//
+// Usage:
+//
+//	countdev -width 16 -tau 4 -procs 12 -seed 2 -cycles 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+	"shmrename/internal/taureg"
+)
+
+func bitsOf(v uint64, width int) string {
+	var b strings.Builder
+	for i := width - 1; i >= 0; i-- {
+		if v&(uint64(1)<<i) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func main() {
+	var (
+		width  = flag.Int("width", 16, "TAS bits in the device (2..64)")
+		tau    = flag.Int("tau", 4, "confirmation threshold")
+		procs  = flag.Int("procs", 12, "requesting processes")
+		seed   = flag.Uint64("seed", 1, "seed for request targets")
+		cycles = flag.Int("cycles", 8, "clock cycles to run")
+	)
+	flag.Parse()
+
+	dev := taureg.NewDevice("countdev", *width, *tau, false)
+	fmt.Printf("counting device: width=%d tau=%d procs=%d seed=%d\n",
+		*width, *tau, *procs, *seed)
+	fmt.Printf("%-7s %-*s %-*s confirmed\n", "cycle",
+		*width+2, "in_reg", *width+2, "out_reg")
+
+	type pending struct {
+		pid int
+		bit int
+	}
+	var waiting []pending
+	ps := make([]*shm.Proc, *procs)
+	for pid := range ps {
+		ps[pid] = shm.NewProc(pid, prng.NewStream(*seed, pid), nil, 1<<20)
+	}
+
+	nextPid := 0
+	for cyc := 1; cyc <= *cycles; cyc++ {
+		// Phase 1: a burst of new requests lands before this cycle.
+		burst := *procs / *cycles
+		if cyc == 1 {
+			burst += *procs % *cycles
+		}
+		for k := 0; k < burst && nextPid < *procs; k++ {
+			p := ps[nextPid]
+			b := p.Rand().Intn(*width)
+			if dev.RequestBit(p, b) {
+				waiting = append(waiting, pending{pid: nextPid, bit: b})
+				fmt.Printf("        p%-3d requests bit %d\n", nextPid, b)
+			} else {
+				fmt.Printf("        p%-3d requests bit %d  -> lost (already set)\n", nextPid, b)
+			}
+			nextPid++
+		}
+		dev.Cycle()
+		in, out := dev.Snapshot()
+		fmt.Printf("%-7d %s  %s  %d/%d\n", cyc,
+			bitsOf(in, *width), bitsOf(out, *width), dev.ConfirmedCount(), *tau)
+		// Resolve decided requests.
+		var still []pending
+		for _, w := range waiting {
+			switch dev.Resolve(ps[w.pid], w.bit) {
+			case taureg.Won:
+				fmt.Printf("        p%-3d confirmed on bit %d\n", w.pid, w.bit)
+			case taureg.Lost:
+				fmt.Printf("        p%-3d trimmed from bit %d (threshold)\n", w.pid, w.bit)
+			default:
+				still = append(still, w)
+			}
+		}
+		waiting = still
+	}
+	fmt.Printf("\nfinal: confirmed=%d (never above tau=%d), cycles=%d\n",
+		dev.ConfirmedCount(), *tau, dev.Cycles())
+}

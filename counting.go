@@ -1,0 +1,62 @@
+package shmrename
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+	"shmrename/internal/taureg"
+)
+
+// CountingDevice is the standalone §II.C hardware primitive: a block of
+// test-and-set bits whose integrated counter admits at most τ winners,
+// exposed for uses beyond renaming — the paper closes by noting "this
+// device may have the potential to speed up other distributed algorithms
+// as well" (e.g. electing a bounded committee among racing goroutines).
+//
+// The device is safe for concurrent use; it is self-clocked, so every
+// acquisition resolves without external coordination.
+type CountingDevice struct {
+	dev *taureg.Device
+	seq atomic.Int64
+}
+
+// NewCountingDevice builds a device with the given number of TAS bits
+// (1..64) and threshold 0 <= tau <= width.
+func NewCountingDevice(width, tau int) (*CountingDevice, error) {
+	if width < 1 || width > taureg.MaxWidth {
+		return nil, errors.New("shmrename: counting device width must be in [1, 64]")
+	}
+	if tau < 0 || tau > width {
+		return nil, errors.New("shmrename: counting device tau must be in [0, width]")
+	}
+	return &CountingDevice{dev: taureg.NewDevice("countdev", width, tau, true)}, nil
+}
+
+// Width returns the number of TAS bits.
+func (c *CountingDevice) Width() int { return c.dev.Width() }
+
+// Tau returns the admission threshold.
+func (c *CountingDevice) Tau() int { return c.dev.Tau() }
+
+// Confirmed returns the number of confirmed winners so far (never above
+// Tau).
+func (c *CountingDevice) Confirmed() int { return c.dev.ConfirmedCount() }
+
+// Acquire tries to win one of the device's bits: it probes up to attempts
+// uniformly random bits (seeded deterministically per call order) and
+// returns the confirmed bit index, or -1 if every probe lost. Once τ
+// winners are confirmed, all further acquisitions lose.
+func (c *CountingDevice) Acquire(seed uint64, attempts int) int {
+	id := int(c.seq.Add(1))
+	p := shm.NewProc(id, prng.NewStream(seed, id), nil, 1<<20)
+	r := p.Rand()
+	for k := 0; k < attempts; k++ {
+		b := r.Intn(c.dev.Width())
+		if c.dev.AcquireBit(p, b) == taureg.Won {
+			return b
+		}
+	}
+	return -1
+}

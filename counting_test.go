@@ -1,0 +1,99 @@
+package shmrename
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountingDeviceBasic(t *testing.T) {
+	dev, err := NewCountingDevice(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Width() != 16 || dev.Tau() != 3 {
+		t.Fatalf("accessors: width=%d tau=%d", dev.Width(), dev.Tau())
+	}
+	winners := 0
+	for i := 0; i < 50; i++ {
+		if dev.Acquire(7, 16) >= 0 {
+			winners++
+		}
+	}
+	if winners != 3 || dev.Confirmed() != 3 {
+		t.Fatalf("winners=%d confirmed=%d, want 3/3", winners, dev.Confirmed())
+	}
+}
+
+func TestCountingDeviceConcurrent(t *testing.T) {
+	dev, err := NewCountingDevice(64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	bits := map[int]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 200; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b := dev.Acquire(3, 64); b >= 0 {
+				mu.Lock()
+				if bits[b] {
+					t.Errorf("bit %d won twice", b)
+				}
+				bits[b] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(bits) != 10 || dev.Confirmed() != 10 {
+		t.Fatalf("winners=%d confirmed=%d, want 10/10", len(bits), dev.Confirmed())
+	}
+}
+
+func TestCountingDeviceErrors(t *testing.T) {
+	for _, c := range []struct{ w, tau int }{{0, 0}, {65, 1}, {8, 9}, {8, -1}} {
+		if _, err := NewCountingDevice(c.w, c.tau); err == nil {
+			t.Fatalf("width=%d tau=%d accepted", c.w, c.tau)
+		}
+	}
+}
+
+func TestCountingDeviceZeroAttempts(t *testing.T) {
+	dev, err := NewCountingDevice(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Acquire(1, 0); got != -1 {
+		t.Fatalf("zero attempts returned %d", got)
+	}
+}
+
+func TestRenameAdaptiveViaFacade(t *testing.T) {
+	res, err := Rename(Config{N: 200, Algorithm: Adaptive, Seed: 5, Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	named := 0
+	for _, n := range res.Names {
+		if n >= 0 {
+			named++
+		}
+	}
+	if named != 200 {
+		t.Fatalf("%d named", named)
+	}
+	if res.M <= 200 {
+		t.Fatalf("adaptive arena m=%d", res.M)
+	}
+}
+
+func TestRenameTightTauTooLarge(t *testing.T) {
+	if _, err := Rename(Config{N: 1 << 32, Algorithm: TightTau}); err == nil {
+		t.Fatal("n = 2^32 accepted for TightTau")
+	}
+}

@@ -1,0 +1,40 @@
+// Package shmrename is a library of randomized renaming algorithms for
+// asynchronous shared-memory systems, reproducing "Randomized Renaming in
+// Shared Memory Systems" (Berenbrink, Brinkmann, Elsässer, Friedetzky,
+// Nagel; IPDPS 2015).
+//
+// Renaming assigns n processes distinct names from a name space of size m
+// (tight: m = n; loose: m > n) using test-and-set operations, against an
+// adaptive adversary that schedules steps and crashes processes. The
+// paper's contributions, all implemented here:
+//
+//   - Tight renaming in O(log n) steps w.h.p. using τ-registers — special
+//     hardware combining a block of test-and-set bits with a counting
+//     device that admits at most τ winners (simulated cycle-accurately in
+//     this library, §II.B-C of the paper).
+//   - Loose renaming onto m = n + 2n/(log log n)^ℓ names in
+//     O((log log n)^ℓ) steps w.h.p. (Lemma 6 / Corollary 7).
+//   - Loose renaming onto m = n + 2n/(log n)^ℓ names in O((log log n)²)
+//     steps w.h.p. (Lemma 8 / Corollary 9).
+//
+// Baselines from the literature (sorting-network renaming, uniform
+// probing, deterministic linear scan, software test-and-set) are included
+// for comparison, along with a deterministic adversarial scheduler, an
+// experiment harness regenerating every claim (see EXPERIMENTS.md), and
+// wall-clock benchmarks.
+//
+// # Quick start
+//
+//	res, err := shmrename.Rename(shmrename.Config{
+//		N:         1024,
+//		Algorithm: shmrename.TightTau,
+//		Seed:      42,
+//	})
+//	if err != nil { ... }
+//	// res.Names[pid] is the distinct name process pid acquired.
+//
+// Set Config.Simulate to run under the deterministic adversarial
+// simulator and choose a Schedule ("fifo", "random", "round-robin",
+// "collider", "starve") and a CrashFraction; leave it false to run on
+// real goroutines with sync/atomic test-and-set.
+package shmrename

@@ -1,0 +1,97 @@
+package shmrename_test
+
+import (
+	"fmt"
+
+	"shmrename"
+)
+
+// ExampleRename renames processes under the deterministic simulator: equal
+// seeds give identical executions, and all names are pairwise distinct.
+func ExampleRename() {
+	res, err := shmrename.Rename(shmrename.Config{
+		N:         8,
+		Algorithm: shmrename.TightTau,
+		Seed:      1,
+		Simulate:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("name space:", res.M)
+	fmt.Println("distinct:", res.Verify() == nil)
+	fmt.Println("names:", res.Names)
+	// Output:
+	// name space: 8
+	// distinct: true
+	// names: [0 5 1 3 6 2 7 4]
+}
+
+// ExampleRename_loose uses Corollary 7: a slightly larger name space in
+// exchange for doubly-logarithmic step complexity.
+func ExampleRename_loose() {
+	res, err := shmrename.Rename(shmrename.Config{
+		N:         1024,
+		Algorithm: shmrename.Corollary7,
+		Ell:       2,
+		Seed:      7,
+		Simulate:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	named := 0
+	for _, n := range res.Names {
+		if n >= 0 {
+			named++
+		}
+	}
+	fmt.Println("m:", res.M)
+	fmt.Println("all named:", named == 1024)
+	fmt.Println("steps within budget:", res.MaxSteps < 64)
+	// Output:
+	// m: 1210
+	// all named: true
+	// steps within budget: true
+}
+
+// ExampleRename_adversarial runs against the contention-seeking adaptive
+// adversary with crash injection; survivors still get distinct names.
+func ExampleRename_adversarial() {
+	res, err := shmrename.Rename(shmrename.Config{
+		N:             64,
+		Algorithm:     shmrename.TightTau,
+		Seed:          3,
+		Simulate:      true,
+		Schedule:      "collider",
+		CrashFraction: 0.25,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("crashed:", res.Crashed)
+	fmt.Println("distinct:", res.Verify() == nil)
+	// Output:
+	// crashed: 16
+	// distinct: true
+}
+
+// ExampleCountingDevice elects a bounded committee: no matter how many
+// contenders race, at most τ win.
+func ExampleCountingDevice() {
+	dev, err := shmrename.NewCountingDevice(32, 4)
+	if err != nil {
+		panic(err)
+	}
+	winners := 0
+	for i := 0; i < 100; i++ {
+		if dev.Acquire(1, 32) >= 0 {
+			winners++
+		}
+	}
+	fmt.Println("winners:", winners)
+	fmt.Println("confirmed:", dev.Confirmed())
+	// Output:
+	// winners: 4
+	// confirmed: 4
+}

@@ -1,0 +1,127 @@
+package backfill
+
+import (
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/sched"
+	"shmrename/internal/shm"
+)
+
+func newProc(id int) *shm.Proc {
+	return shm.NewProc(id, prng.NewStream(1, id), nil, 1<<20)
+}
+
+func TestStrategiesAcquireDistinctNames(t *testing.T) {
+	for _, strat := range []Strategy{Uniform{}, Sweep{}, Hybrid{}, Hybrid{Probes: 2}} {
+		t.Run(strat.Name(), func(t *testing.T) {
+			const k, m = 50, 100
+			space := shm.NewNameSpace("over", m)
+			seen := map[int]bool{}
+			for pid := 0; pid < k; pid++ {
+				i := strat.Acquire(newProc(pid), space)
+				if i < 0 || i >= m {
+					t.Fatalf("pid %d got invalid index %d", pid, i)
+				}
+				if seen[i] {
+					t.Fatalf("index %d acquired twice", i)
+				}
+				seen[i] = true
+			}
+			if space.CountClaimed() != k {
+				t.Fatalf("claimed %d, want %d", space.CountClaimed(), k)
+			}
+		})
+	}
+}
+
+func TestSweepExhaustionReturnsNegative(t *testing.T) {
+	space := shm.NewNameSpace("over", 4)
+	p := newProc(0)
+	for i := 0; i < 4; i++ {
+		if got := (Sweep{}).Acquire(newProc(i+1), space); got < 0 {
+			t.Fatalf("acquire %d failed with space non-full", i)
+		}
+	}
+	if got := (Sweep{}).Acquire(p, space); got != -1 {
+		t.Fatalf("full space returned %d, want -1", got)
+	}
+	if got := (Hybrid{Probes: 3}).Acquire(p, space); got != -1 {
+		t.Fatalf("hybrid on full space returned %d, want -1", got)
+	}
+}
+
+func TestEmptySpace(t *testing.T) {
+	space := shm.NewNameSpace("over", 0)
+	for _, strat := range []Strategy{Uniform{}, Sweep{}, Hybrid{}} {
+		if got := strat.Acquire(newProc(0), space); got != -1 {
+			t.Fatalf("%s on empty space returned %d", strat.Name(), got)
+		}
+	}
+}
+
+func TestSweepStepBound(t *testing.T) {
+	const m = 64
+	space := shm.NewNameSpace("over", m)
+	// Pre-claim all but one slot.
+	pre := newProc(99)
+	for i := 0; i < m-1; i++ {
+		space.TryClaim(pre, i)
+	}
+	p := newProc(0)
+	if got := (Sweep{}).Acquire(p, space); got != m-1 {
+		t.Fatalf("sweep found %d, want %d", got, m-1)
+	}
+	if p.Steps() > m {
+		t.Fatalf("sweep took %d steps, bound is %d", p.Steps(), m)
+	}
+}
+
+func TestUniformExpectedConstantStepsOnHalfEmptySpace(t *testing.T) {
+	// k contenders on a 2k space: mean steps should be ~2, certainly < 6.
+	const k = 200
+	space := shm.NewNameSpace("over", 2*k)
+	var total int64
+	for pid := 0; pid < k; pid++ {
+		p := newProc(pid)
+		if (Uniform{}).Acquire(p, space) < 0 {
+			t.Fatal("uniform failed on non-full space")
+		}
+		total += p.Steps()
+	}
+	if mean := float64(total) / k; mean > 6 {
+		t.Fatalf("uniform mean steps %.2f on half-empty space", mean)
+	}
+}
+
+func TestHybridUnderSimulatedAdversary(t *testing.T) {
+	// All strategies must stay correct under the contention-seeking
+	// adversary: k processes, 2k slots, everyone named, all distinct.
+	const k = 32
+	space := shm.NewNameSpace("over", 2*k)
+	body := func(p *shm.Proc) int {
+		return Hybrid{}.Acquire(p, space)
+	}
+	res := sched.Run(sched.Config{
+		N: k, Seed: 3, Policy: sched.Collider(), Body: body,
+		Spaces: map[string]shm.Probeable{"over": space},
+	})
+	if got := sched.CountStatus(res, sched.Named); got != k {
+		t.Fatalf("%d named, want %d", got, k)
+	}
+	if err := sched.VerifyUnique(res, 2*k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (Uniform{}).Name() != "uniform" || (Sweep{}).Name() != "sweep" {
+		t.Fatal("strategy name mismatch")
+	}
+	if (Hybrid{}).Name() != "hybrid(8)" {
+		t.Fatalf("hybrid default name = %s", Hybrid{}.Name())
+	}
+	if (Hybrid{Probes: 3}).Name() != "hybrid(3)" {
+		t.Fatalf("hybrid(3) name = %s", Hybrid{Probes: 3}.Name())
+	}
+}

@@ -1,0 +1,113 @@
+// Package balls provides the balls-into-bins machinery behind Lemma 3 of
+// the paper (throwing 2c·log n balls into 2·log n bins leaves at most
+// log n empty bins w.h.p.) and the Chernoff calculators of Lemma 1, used
+// by experiment E1 and by the report tables of EXPERIMENTS.md.
+package balls
+
+import (
+	"math"
+
+	"shmrename/internal/prng"
+)
+
+// ThrowEmpty throws balls uniformly at random into bins and returns the
+// number of bins that stay empty.
+func ThrowEmpty(balls, bins int, r *prng.Rand) int {
+	if bins <= 0 {
+		return 0
+	}
+	hit := make([]bool, bins)
+	for i := 0; i < balls; i++ {
+		hit[r.Intn(bins)] = true
+	}
+	empty := 0
+	for _, h := range hit {
+		if !h {
+			empty++
+		}
+	}
+	return empty
+}
+
+// ExpectedEmpty returns the exact expected number of empty bins,
+// bins·(1-1/bins)^balls.
+func ExpectedEmpty(balls, bins int) float64 {
+	if bins <= 0 {
+		return 0
+	}
+	return float64(bins) * math.Pow(1-1/float64(bins), float64(balls))
+}
+
+// Lemma3Trial runs one Lemma 3 experiment for the given n and c: it throws
+// ⌈2c·log₂ n⌉ balls into 2⌈log₂ n⌉ bins and reports the number of empty
+// bins together with the paper's threshold log₂ n.
+func Lemma3Trial(n int, c float64, r *prng.Rand) (empty int, threshold int) {
+	l := int(math.Ceil(math.Log2(float64(n))))
+	if l < 1 {
+		l = 1
+	}
+	balls := int(math.Ceil(2 * c * float64(l)))
+	return ThrowEmpty(balls, 2*l, r), l
+}
+
+// Lemma3FailureBound returns the paper's bound on the failure probability
+// Pr[more than log n bins stay empty] ≤ (2/e^(c-1+2/e^c))^(log₂ n), valid
+// for c ≥ max{ln 2, 2ℓ+2}; for such c it is at most 1/n^ℓ.
+func Lemma3FailureBound(n int, c float64) float64 {
+	base := 2 / math.Exp(c-1+2/math.Exp(c))
+	return math.Pow(base, math.Log2(float64(n)))
+}
+
+// ChernoffUpper bounds Pr[X ≥ (1+δ)μ] for a sum of independent (or
+// negatively associated) 0-1 variables with mean μ, per Lemma 1(1)/(2):
+// exp(-μδ²/3) for δ ∈ [0,1], exp(-μδ/3) for δ ≥ 1.
+func ChernoffUpper(mu, delta float64) float64 {
+	if delta < 0 {
+		return 1
+	}
+	if delta <= 1 {
+		return math.Exp(-mu * delta * delta / 3)
+	}
+	return math.Exp(-mu * delta / 3)
+}
+
+// ChernoffLower bounds Pr[X ≤ (1-δ)μ] per Lemma 1(3): exp(-μδ²/3) for
+// δ > 0.
+func ChernoffLower(mu, delta float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	return math.Exp(-mu * delta * delta / 3)
+}
+
+// Summary aggregates repeated Lemma 3 trials.
+type Summary struct {
+	Trials    int
+	Threshold int     // the paper's log₂ n cutoff
+	MeanEmpty float64 // average empty bins observed
+	MaxEmpty  int
+	Failures  int // trials with empty > threshold
+}
+
+// RunLemma3 performs trials independent Lemma 3 experiments with seeds
+// derived from seed.
+func RunLemma3(n int, c float64, trials int, seed uint64) Summary {
+	s := Summary{Trials: trials}
+	total := 0
+	for t := 0; t < trials; t++ {
+		r := prng.NewStream(seed, t)
+		empty, threshold := Lemma3Trial(n, c, r)
+		s.Threshold = threshold
+		total += empty
+		if empty > s.MaxEmpty {
+			s.MaxEmpty = empty
+		}
+		if empty > threshold {
+			s.Failures++
+		}
+	}
+	if trials > 0 {
+		s.MeanEmpty = float64(total) / float64(trials)
+	}
+	return s
+}

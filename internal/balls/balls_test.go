@@ -1,0 +1,143 @@
+package balls
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"shmrename/internal/prng"
+)
+
+func TestThrowEmptyBounds(t *testing.T) {
+	r := prng.New(1)
+	if got := ThrowEmpty(0, 10, r); got != 10 {
+		t.Fatalf("no balls: %d empty, want 10", got)
+	}
+	if got := ThrowEmpty(100, 1, r); got != 0 {
+		t.Fatalf("one bin, many balls: %d empty", got)
+	}
+	if got := ThrowEmpty(5, 0, r); got != 0 {
+		t.Fatalf("zero bins: %d", got)
+	}
+	for i := 0; i < 50; i++ {
+		e := ThrowEmpty(20, 10, r)
+		if e < 0 || e > 9 {
+			// 20 balls into 10 bins: at least one bin hit.
+			t.Fatalf("empty = %d out of range", e)
+		}
+	}
+}
+
+func TestThrowEmptyMatchesExpectation(t *testing.T) {
+	// Mean over many trials should track bins·(1-1/bins)^balls.
+	const balls, bins, trials = 64, 32, 4000
+	r := prng.New(7)
+	total := 0
+	for i := 0; i < trials; i++ {
+		total += ThrowEmpty(balls, bins, r)
+	}
+	mean := float64(total) / trials
+	want := ExpectedEmpty(balls, bins)
+	if math.Abs(mean-want) > 0.25 {
+		t.Fatalf("mean empty %.3f, expected %.3f", mean, want)
+	}
+}
+
+func TestExpectedEmptyEdges(t *testing.T) {
+	if got := ExpectedEmpty(0, 10); got != 10 {
+		t.Fatalf("ExpectedEmpty(0,10) = %v", got)
+	}
+	if got := ExpectedEmpty(10, 0); got != 0 {
+		t.Fatalf("ExpectedEmpty(10,0) = %v", got)
+	}
+}
+
+func TestLemma3TrialShape(t *testing.T) {
+	r := prng.New(3)
+	empty, threshold := Lemma3Trial(1<<16, 2, r)
+	if threshold != 16 {
+		t.Fatalf("threshold = %d, want 16", threshold)
+	}
+	if empty < 0 || empty > 32 {
+		t.Fatalf("empty = %d outside [0, 2 log n]", empty)
+	}
+}
+
+func TestRunLemma3HoldsForLargeC(t *testing.T) {
+	// With c = 6 (≥ 2ℓ+2 for ℓ=2) the failure probability is ≤ 1/n²;
+	// across 2000 trials at n = 2^12 no failures should ever occur.
+	s := RunLemma3(1<<12, 6, 2000, 42)
+	if s.Failures != 0 {
+		t.Fatalf("lemma 3 failed %d/%d times at c=6", s.Failures, s.Trials)
+	}
+	if s.MeanEmpty > float64(s.Threshold) {
+		t.Fatalf("mean empty %.2f above threshold %d", s.MeanEmpty, s.Threshold)
+	}
+	if s.Trials != 2000 {
+		t.Fatalf("trials = %d", s.Trials)
+	}
+}
+
+func TestRunLemma3MeanTracksTheory(t *testing.T) {
+	// E[empty] = 2L(1-1/2L)^(2cL) ≈ 2L·e^-c. For n=2^16, c=2: ≈ 32·0.135.
+	s := RunLemma3(1<<16, 2, 3000, 9)
+	want := ExpectedEmpty(64, 32)
+	if math.Abs(s.MeanEmpty-want) > 0.35 {
+		t.Fatalf("mean empty %.3f, theory %.3f", s.MeanEmpty, want)
+	}
+}
+
+func TestLemma3FailureBoundMonotone(t *testing.T) {
+	// The bound decreases in both n and c.
+	if !(Lemma3FailureBound(1<<20, 4) < Lemma3FailureBound(1<<10, 4)) {
+		t.Fatal("bound not decreasing in n")
+	}
+	if !(Lemma3FailureBound(1<<10, 6) < Lemma3FailureBound(1<<10, 3)) {
+		t.Fatal("bound not decreasing in c")
+	}
+	// For c >= 2ℓ+2 the bound is at most 1/n^ℓ (ℓ=1, c=4).
+	n := 1 << 12
+	if got := Lemma3FailureBound(n, 4); got > 1/float64(n) {
+		t.Fatalf("bound %.3g above 1/n at c=4", got)
+	}
+}
+
+func TestChernoffBounds(t *testing.T) {
+	if got := ChernoffUpper(100, 0.5); math.Abs(got-math.Exp(-100*0.25/3)) > 1e-12 {
+		t.Fatalf("ChernoffUpper small delta = %v", got)
+	}
+	if got := ChernoffUpper(100, 2); math.Abs(got-math.Exp(-100*2.0/3)) > 1e-12 {
+		t.Fatalf("ChernoffUpper large delta = %v", got)
+	}
+	if got := ChernoffUpper(100, -1); got != 1 {
+		t.Fatalf("negative delta should give trivial bound, got %v", got)
+	}
+	if got := ChernoffLower(100, 0.5); math.Abs(got-math.Exp(-100*0.25/3)) > 1e-12 {
+		t.Fatalf("ChernoffLower = %v", got)
+	}
+	if got := ChernoffLower(100, 0); got != 1 {
+		t.Fatalf("zero delta should give trivial bound, got %v", got)
+	}
+}
+
+func TestQuickThrowEmptyRange(t *testing.T) {
+	f := func(seed uint64, balls16, bins16 uint16) bool {
+		balls := int(balls16 % 512)
+		bins := int(bins16%128) + 1
+		e := ThrowEmpty(balls, bins, prng.New(seed))
+		if e < 0 || e > bins {
+			return false
+		}
+		if balls >= 1 && e == bins {
+			return false // at least one bin must be hit
+		}
+		maxEmpty := bins - 1
+		if balls == 0 {
+			maxEmpty = bins
+		}
+		return e <= maxEmpty
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package baseline implements the reference renaming algorithms the paper
+// compares against (experiment E8): the deterministic linear scan (the
+// Θ(n) deterministic bound of [9]), folklore uniform random probing on a
+// tight space, and segmented probing. Each is packaged as a core.Instance
+// so it runs on the same simulator and measurement pipeline as the
+// paper's algorithms.
+package baseline
+
+import (
+	"fmt"
+
+	"shmrename/internal/shm"
+)
+
+// LinearScan is the deterministic baseline: every process test-and-sets
+// the names 0, 1, 2, ... in order until it wins one. Step complexity is
+// Θ(n) — the deterministic lower bound for tight renaming [9], included
+// to exhibit the exponential gap the randomized algorithms close.
+type LinearScan struct {
+	n     int
+	space *shm.NameSpace
+}
+
+// NewLinearScan builds a linear-scan instance for n processes on n names.
+func NewLinearScan(n int) *LinearScan {
+	if n < 1 {
+		panic("baseline: LinearScan requires n >= 1")
+	}
+	return &LinearScan{n: n, space: shm.NewNameSpace("names", n)}
+}
+
+// Label implements core.Instance.
+func (a *LinearScan) Label() string { return "linear-scan" }
+
+// N implements core.Instance.
+func (a *LinearScan) N() int { return a.n }
+
+// M implements core.Instance.
+func (a *LinearScan) M() int { return a.n }
+
+// Probeables implements core.Instance.
+func (a *LinearScan) Probeables() map[string]shm.Probeable {
+	return map[string]shm.Probeable{"names": a.space}
+}
+
+// Clock implements core.Instance.
+func (a *LinearScan) Clock() func() { return nil }
+
+// Body implements core.Instance.
+func (a *LinearScan) Body(p *shm.Proc) int {
+	for i := 0; i < a.n; i++ {
+		if a.space.TryClaim(p, i) {
+			return i
+		}
+	}
+	return -1 // unreachable with n processes on n names
+}
+
+// UniformProbe is the folklore randomized baseline on a tight space:
+// repeatedly test-and-set a uniformly random name in [0, n). The last
+// contenders face a nearly full space, so the expected maximum step count
+// grows linearly in n (coupon-collector tail).
+type UniformProbe struct {
+	n     int
+	space *shm.NameSpace
+}
+
+// NewUniformProbe builds a uniform-probing instance for n processes on n
+// names.
+func NewUniformProbe(n int) *UniformProbe {
+	if n < 1 {
+		panic("baseline: UniformProbe requires n >= 1")
+	}
+	return &UniformProbe{n: n, space: shm.NewNameSpace("names", n)}
+}
+
+// Label implements core.Instance.
+func (a *UniformProbe) Label() string { return "uniform-probe" }
+
+// N implements core.Instance.
+func (a *UniformProbe) N() int { return a.n }
+
+// M implements core.Instance.
+func (a *UniformProbe) M() int { return a.n }
+
+// Probeables implements core.Instance.
+func (a *UniformProbe) Probeables() map[string]shm.Probeable {
+	return map[string]shm.Probeable{"names": a.space}
+}
+
+// Clock implements core.Instance.
+func (a *UniformProbe) Clock() func() { return nil }
+
+// Body implements core.Instance.
+func (a *UniformProbe) Body(p *shm.Proc) int {
+	r := p.Rand()
+	for {
+		i := r.Intn(a.n)
+		if a.space.TryClaim(p, i) {
+			return i
+		}
+	}
+}
+
+// SegmentedProbe probes uniformly at random but falls back to a linear
+// scan from the last probe once failures exceed the given budget. It is
+// the pragmatic engineering hybrid: expected O(1)-per-free-fraction probes
+// with a deterministic O(n) cap, used to sanity-check that the paper's
+// structured algorithms beat simple engineering, not just strawmen.
+type SegmentedProbe struct {
+	n      int
+	budget int
+	space  *shm.NameSpace
+}
+
+// NewSegmentedProbe builds the hybrid instance. budget <= 0 selects
+// 2·⌈log₂ n⌉ random probes before scanning.
+func NewSegmentedProbe(n, budget int) *SegmentedProbe {
+	if n < 1 {
+		panic("baseline: SegmentedProbe requires n >= 1")
+	}
+	if budget <= 0 {
+		budget = 2 * ceilLog2(n)
+		if budget < 2 {
+			budget = 2
+		}
+	}
+	return &SegmentedProbe{n: n, budget: budget, space: shm.NewNameSpace("names", n)}
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// Label implements core.Instance.
+func (a *SegmentedProbe) Label() string { return fmt.Sprintf("segmented-probe(%d)", a.budget) }
+
+// N implements core.Instance.
+func (a *SegmentedProbe) N() int { return a.n }
+
+// M implements core.Instance.
+func (a *SegmentedProbe) M() int { return a.n }
+
+// Probeables implements core.Instance.
+func (a *SegmentedProbe) Probeables() map[string]shm.Probeable {
+	return map[string]shm.Probeable{"names": a.space}
+}
+
+// Clock implements core.Instance.
+func (a *SegmentedProbe) Clock() func() { return nil }
+
+// Body implements core.Instance.
+func (a *SegmentedProbe) Body(p *shm.Proc) int {
+	r := p.Rand()
+	last := 0
+	for k := 0; k < a.budget; k++ {
+		i := r.Intn(a.n)
+		if a.space.TryClaim(p, i) {
+			return i
+		}
+		last = i
+	}
+	for k := 1; k <= a.n; k++ {
+		i := last + k
+		if i >= a.n {
+			i -= a.n
+		}
+		if a.space.TryClaim(p, i) {
+			return i
+		}
+	}
+	return -1 // unreachable with n processes on n names
+}

@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"testing"
+
+	"shmrename/internal/core"
+	"shmrename/internal/sched"
+)
+
+func TestInstancesSatisfyCoreInterface(t *testing.T) {
+	var _ core.Instance = NewLinearScan(4)
+	var _ core.Instance = NewUniformProbe(4)
+	var _ core.Instance = NewSegmentedProbe(4, 0)
+}
+
+func runAll(t *testing.T, inst core.Instance, seed uint64) []sched.Result {
+	t.Helper()
+	res := sched.Run(sched.Config{
+		N: inst.N(), Seed: seed, Fast: sched.FastFIFO, Body: inst.Body,
+	})
+	if got := sched.CountStatus(res, sched.Named); got != inst.N() {
+		t.Fatalf("%s: %d named, want %d", inst.Label(), got, inst.N())
+	}
+	if err := sched.VerifyUnique(res, inst.M()); err != nil {
+		t.Fatalf("%s: %v", inst.Label(), err)
+	}
+	return res
+}
+
+func TestAllBaselinesRenameTightly(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 257, 1024} {
+		runAll(t, NewLinearScan(n), 1)
+		runAll(t, NewUniformProbe(n), 2)
+		runAll(t, NewSegmentedProbe(n, 0), 3)
+	}
+}
+
+func TestLinearScanStepComplexityLinear(t *testing.T) {
+	// The last process to be granted steps scans nearly the whole space:
+	// max steps must be exactly n under FIFO (some process claims name
+	// n-1 after n failed probes... at least n steps for someone).
+	const n = 256
+	res := runAll(t, NewLinearScan(n), 5)
+	if got := sched.MaxSteps(res); got != n {
+		t.Fatalf("linear scan max steps = %d, want %d", got, n)
+	}
+}
+
+func TestUniformProbeTailIsHeavy(t *testing.T) {
+	// Folklore baseline: expected max steps grows ~linearly; check it
+	// exceeds the tight algorithm's logarithmic scale by a wide margin.
+	const n = 1024
+	res := runAll(t, NewUniformProbe(n), 7)
+	if got := sched.MaxSteps(res); got < int64(4*core.CeilLog2(n)) {
+		t.Fatalf("uniform probing max steps %d suspiciously small", got)
+	}
+}
+
+func TestSegmentedProbeCapRespected(t *testing.T) {
+	const n = 512
+	inst := NewSegmentedProbe(n, 10)
+	res := runAll(t, inst, 9)
+	for _, r := range res {
+		if r.Steps > int64(10+n) {
+			t.Fatalf("pid %d took %d steps beyond cap", r.PID, r.Steps)
+		}
+	}
+}
+
+func TestBaselinePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLinearScan(0) },
+		func() { NewUniformProbe(0) },
+		func() { NewSegmentedProbe(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid n accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if NewLinearScan(4).Label() != "linear-scan" {
+		t.Fatal("linear scan label")
+	}
+	if NewUniformProbe(4).Label() != "uniform-probe" {
+		t.Fatal("uniform probe label")
+	}
+	if NewSegmentedProbe(4, 5).Label() != "segmented-probe(5)" {
+		t.Fatal("segmented probe label")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"shmrename/internal/shm"
+)
+
+// Adaptive implements the §IV remark that the framework of [8] turns the
+// paper's algorithms into adaptive ones — renaming when the number of
+// participants k is NOT known in advance — at the price of an O((1+ε)k)
+// name space ("hence using our protocols would not result in an
+// improvement compared to [8]").
+//
+// Construction (geometric estimate doubling): the name space is split
+// into segments S_1, S_2, ..., segment S_j holding 2^j names. A process
+// starts at segment 1 and, per segment, makes a constant number of
+// uniformly random test-and-set probes (ProbesPerLevel); on failure it
+// moves to the next segment. A process therefore reaches a segment of
+// size ≥ 2k after O(log k) levels, where its probes succeed with constant
+// probability per attempt — without ever knowing k.
+//
+// Guarantees (documented, validated in tests): names are distinct by TAS;
+// the name of a process that entered among k participants lies in
+// [0, O(k)) w.h.p.; per-process step complexity is O(log k) w.h.p. — the
+// simple doubling transform, not the O((log log k)²) machinery of [8],
+// which is its own paper (see DESIGN.md §5).
+type Adaptive struct {
+	capacity int // upper bound on participants (sizes the arena only)
+	levels   int
+	offsets  []int
+	sizes    []int
+	probes   int
+	space    *shm.NameSpace
+}
+
+// AdaptiveConfig parameterizes the adaptive renamer.
+type AdaptiveConfig struct {
+	// ProbesPerLevel is the number of random probes per segment
+	// (default 4). More probes trade steps for tighter names.
+	ProbesPerLevel int
+}
+
+// NewAdaptive builds an adaptive renamer able to host up to maxProcs
+// participants. maxProcs only sizes the arena (total ≈ 4·maxProcs names);
+// process bodies never consult it, preserving adaptivity.
+func NewAdaptive(maxProcs int, cfg AdaptiveConfig) *Adaptive {
+	if maxProcs < 1 {
+		panic("core: NewAdaptive requires maxProcs >= 1")
+	}
+	probes := cfg.ProbesPerLevel
+	if probes <= 0 {
+		probes = 4
+	}
+	// Segments 2, 4, ..., up to the first size >= 2*maxProcs.
+	levels := int(math.Ceil(math.Log2(float64(maxProcs)))) + 1
+	if levels < 1 {
+		levels = 1
+	}
+	a := &Adaptive{capacity: maxProcs, levels: levels, probes: probes}
+	total := 0
+	for j := 1; j <= levels; j++ {
+		size := 1 << uint(j)
+		a.offsets = append(a.offsets, total)
+		a.sizes = append(a.sizes, size)
+		total += size
+	}
+	a.space = shm.NewNameSpace("adaptive", total)
+	return a
+}
+
+// Label implements Instance.
+func (a *Adaptive) Label() string {
+	return fmt.Sprintf("adaptive-doubling(p=%d)", a.probes)
+}
+
+// N implements Instance: the arena capacity. Fewer processes may
+// participate; that is the point of adaptivity.
+func (a *Adaptive) N() int { return a.capacity }
+
+// M implements Instance: total arena size, ≈ 4·maxProcs.
+func (a *Adaptive) M() int { return a.space.Size() }
+
+// Levels returns the number of doubling segments.
+func (a *Adaptive) Levels() int { return a.levels }
+
+// Probeables implements Instance.
+func (a *Adaptive) Probeables() map[string]shm.Probeable {
+	return map[string]shm.Probeable{"adaptive": a.space}
+}
+
+// Clock implements Instance.
+func (a *Adaptive) Clock() func() { return nil }
+
+// Body implements Instance: walk the segments, a constant number of
+// probes each; fall back to a deterministic sweep of the last segment if
+// every probe lost (w.h.p. untaken — the last segment has 2× capacity).
+func (a *Adaptive) Body(p *shm.Proc) int {
+	r := p.Rand()
+	for j := 0; j < a.levels; j++ {
+		off, size := a.offsets[j], a.sizes[j]
+		for k := 0; k < a.probes; k++ {
+			i := off + r.Intn(size)
+			if a.space.TryClaim(p, i) {
+				return i
+			}
+		}
+	}
+	// Deterministic safety net over the whole arena.
+	start := r.Intn(a.space.Size())
+	for k := 0; k < a.space.Size(); k++ {
+		i := start + k
+		if i >= a.space.Size() {
+			i -= a.space.Size()
+		}
+		if a.space.TryClaim(p, i) {
+			return i
+		}
+	}
+	return -1 // arena exhausted: more participants than capacity
+}
+
+// MaxName returns the largest name the first k arrivals should stay
+// under w.h.p. — the adaptive O(k) name-space guarantee: the segment
+// reached once sizes pass 2k ends at offset ~8k.
+func (a *Adaptive) MaxName(k int) int {
+	for j := 0; j < a.levels; j++ {
+		if a.sizes[j] >= 4*k {
+			return a.offsets[j] + a.sizes[j]
+		}
+	}
+	return a.space.Size()
+}

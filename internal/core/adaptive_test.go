@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"shmrename/internal/sched"
+)
+
+func TestAdaptiveRenamesWithoutKnowingK(t *testing.T) {
+	// Arena sized for 4096, but only k processes show up; everyone gets
+	// a distinct name, adaptively.
+	arena := NewAdaptive(4096, AdaptiveConfig{})
+	for _, k := range []int{1, 7, 64, 500} {
+		inst := NewAdaptive(4096, AdaptiveConfig{})
+		res := sched.Run(sched.Config{
+			N: k, Seed: uint64(k), Fast: sched.FastFIFO, Body: inst.Body,
+		})
+		if got := sched.CountStatus(res, sched.Named); got != k {
+			t.Fatalf("k=%d: %d named", k, got)
+		}
+		if err := sched.VerifyUnique(res, inst.M()); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	_ = arena
+}
+
+func TestAdaptiveNamesStayNearK(t *testing.T) {
+	// The adaptive guarantee: with k participants, names stay in O(k).
+	const maxProcs = 1 << 12
+	for _, k := range []int{16, 128, 1024} {
+		inst := NewAdaptive(maxProcs, AdaptiveConfig{})
+		res := sched.Run(sched.Config{
+			N: k, Seed: 3, Fast: sched.FastFIFO, Body: inst.Body,
+		})
+		limit := inst.MaxName(k)
+		for _, r := range res {
+			if r.Name >= limit {
+				t.Fatalf("k=%d: name %d beyond adaptive limit %d", k, r.Name, limit)
+			}
+		}
+	}
+}
+
+func TestAdaptiveStepComplexityLogK(t *testing.T) {
+	// O(log k) steps w.h.p.: probes-per-level × levels-to-reach-2k plus
+	// constant-success attempts.
+	const maxProcs = 1 << 12
+	for _, k := range []int{32, 256, 2048} {
+		inst := NewAdaptive(maxProcs, AdaptiveConfig{})
+		res := sched.Run(sched.Config{
+			N: k, Seed: 9, Fast: sched.FastFIFO, Body: inst.Body,
+		})
+		bound := int64(8 * 4 * (math.Log2(float64(k)) + 3)) // generous 8·probes·(log k+3)
+		if got := sched.MaxSteps(res); got > bound {
+			t.Fatalf("k=%d: max steps %d > bound %d", k, got, bound)
+		}
+	}
+}
+
+func TestAdaptiveFullCapacity(t *testing.T) {
+	// Even at full capacity every process is named (the arena holds ~4x).
+	const n = 512
+	inst := NewAdaptive(n, AdaptiveConfig{ProbesPerLevel: 2})
+	res := sched.Run(sched.Config{N: n, Seed: 4, Fast: sched.FastFIFO, Body: inst.Body})
+	if got := sched.CountStatus(res, sched.Named); got != n {
+		t.Fatalf("%d named", got)
+	}
+	if err := sched.VerifyUnique(res, inst.M()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveAccessorsAndPanics(t *testing.T) {
+	inst := NewAdaptive(100, AdaptiveConfig{})
+	if inst.N() != 100 {
+		t.Fatalf("N = %d", inst.N())
+	}
+	if inst.M() < 2*100 {
+		t.Fatalf("M = %d too small", inst.M())
+	}
+	if inst.Levels() < 7 {
+		t.Fatalf("levels = %d", inst.Levels())
+	}
+	if inst.Label() == "" || inst.Clock() != nil {
+		t.Fatal("label/clock")
+	}
+	if _, ok := inst.Probeables()["adaptive"]; !ok {
+		t.Fatal("probeables")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAdaptive(0) accepted")
+		}
+	}()
+	NewAdaptive(0, AdaptiveConfig{})
+}
+
+func TestAdaptiveUnderAdversary(t *testing.T) {
+	const k = 64
+	inst := NewAdaptive(1024, AdaptiveConfig{})
+	res := RunSim(inst2sized(inst, k), 7, sched.Collider())
+	if got := sched.CountStatus(res, sched.Named); got != k {
+		t.Fatalf("%d named under collider", got)
+	}
+	if err := sched.VerifyUnique(res, inst.M()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// inst2sized adapts an arena built for many to a run with k participants:
+// the Instance interface reports the arena capacity as N, so wrap it.
+type sizedInstance struct {
+	Instance
+	k int
+}
+
+func (s sizedInstance) N() int { return s.k }
+
+func inst2sized(inst Instance, k int) Instance { return sizedInstance{Instance: inst, k: k} }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"shmrename/internal/backfill"
+	"shmrename/internal/shm"
+)
+
+// almostTight is the part of a combined instance that runs on the primary
+// n-name space and may leave survivors. Both §IV algorithms satisfy it.
+type almostTight interface {
+	Instance
+	StepBudget() int
+	SurvivorBound() float64
+}
+
+// Combined composes an almost-tight algorithm on the names [0, n) with a
+// backfill renamer on the overflow space [n, n+extra): the construction of
+// Corollaries 7 and 9. Processes that survive the almost-tight phase
+// acquire a name in the overflow space instead.
+type Combined struct {
+	label    string
+	inner    almostTight
+	extra    int
+	overflow *shm.NameSpace
+	strat    backfill.Strategy
+}
+
+// NewCorollary7 builds the Corollary 7 renamer: Lemma 6 with parameter ℓ
+// on n registers, plus a 2n/(log log n)^ℓ overflow space. Total name space
+// m = n + 2n/(log log n)^ℓ, step complexity O((log log n)^ℓ) w.h.p.
+func NewCorollary7(n int, cfg RoundsConfig, strat backfill.Strategy) *Combined {
+	cfg.fill()
+	inner := NewLooseRounds(n, cfg)
+	extra := int(math.Ceil(2 * float64(n) / math.Pow(LogLog2(n), float64(cfg.Ell))))
+	return newCombined(fmt.Sprintf("corollary7(l=%d)", cfg.Ell), inner, extra, strat)
+}
+
+// NewCorollary9 builds the Corollary 9 renamer: Lemma 8 with parameter ℓ
+// on n registers, plus a 2n/(log n)^ℓ overflow space. Total name space
+// m = n + 2n/(log n)^ℓ, step complexity O((log log n)²) w.h.p.
+func NewCorollary9(n int, cfg ClustersConfig, strat backfill.Strategy) *Combined {
+	cfg.fill()
+	inner := NewLooseClusters(n, cfg)
+	extra := int(math.Ceil(2 * float64(n) / math.Pow(math.Log2(float64(n)), float64(cfg.Ell))))
+	return newCombined(fmt.Sprintf("corollary9(l=%d)", cfg.Ell), inner, extra, strat)
+}
+
+func newCombined(label string, inner almostTight, extra int, strat backfill.Strategy) *Combined {
+	if extra < 1 {
+		extra = 1
+	}
+	if strat == nil {
+		strat = backfill.Hybrid{}
+	}
+	return &Combined{
+		label:    label,
+		inner:    inner,
+		extra:    extra,
+		overflow: shm.NewNameSpace("overflow", extra),
+		strat:    strat,
+	}
+}
+
+// Label implements Instance.
+func (c *Combined) Label() string { return c.label }
+
+// N implements Instance.
+func (c *Combined) N() int { return c.inner.N() }
+
+// M implements Instance: primary space plus overflow.
+func (c *Combined) M() int { return c.inner.M() + c.extra }
+
+// Extra returns the overflow-space size (the corollaries' 2n/…^ℓ term).
+func (c *Combined) Extra() int { return c.extra }
+
+// Inner returns the almost-tight phase (diagnostics).
+func (c *Combined) Inner() Instance { return c.inner }
+
+// InnerStepBudget returns the almost-tight phase's per-process step bound.
+func (c *Combined) InnerStepBudget() int { return c.inner.StepBudget() }
+
+// Probeables implements Instance.
+func (c *Combined) Probeables() map[string]shm.Probeable {
+	m := c.inner.Probeables()
+	out := make(map[string]shm.Probeable, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	out["overflow"] = c.overflow
+	return out
+}
+
+// Clock implements Instance.
+func (c *Combined) Clock() func() { return c.inner.Clock() }
+
+// Overflow returns the overflow name space (diagnostics).
+func (c *Combined) Overflow() *shm.NameSpace { return c.overflow }
+
+// Body implements Instance: run the almost-tight phase; survivors take a
+// name from the overflow space via the backfill strategy.
+func (c *Combined) Body(p *shm.Proc) int {
+	if name := c.inner.Body(p); name >= 0 {
+		return name
+	}
+	idx := c.strat.Acquire(p, c.overflow)
+	if idx < 0 {
+		return -1 // overflow exhausted: more survivors than Corollary's w.h.p. bound
+	}
+	return c.inner.M() + idx
+}

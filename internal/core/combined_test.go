@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"shmrename/internal/backfill"
+	"shmrename/internal/sched"
+)
+
+func TestCorollary7NamesEveryone(t *testing.T) {
+	for _, ell := range []int{1, 2} {
+		for _, n := range []int{256, 2048} {
+			inst := NewCorollary7(n, RoundsConfig{Ell: ell}, nil)
+			res := sched.Run(sched.Config{
+				N: n, Seed: 17, Fast: sched.FastFIFO,
+				Body: inst.Body,
+			})
+			if got := sched.CountStatus(res, sched.Named); got != n {
+				t.Fatalf("n=%d ell=%d: %d named", n, ell, got)
+			}
+			if err := sched.VerifyUnique(res, inst.M()); err != nil {
+				t.Fatalf("n=%d ell=%d: %v", n, ell, err)
+			}
+		}
+	}
+}
+
+func TestCorollary9NamesEveryone(t *testing.T) {
+	for _, n := range []int{256, 2048} {
+		inst := NewCorollary9(n, ClustersConfig{Ell: 1}, nil)
+		res := sched.Run(sched.Config{
+			N: n, Seed: 23, Fast: sched.FastFIFO,
+			Body: inst.Body,
+		})
+		if got := sched.CountStatus(res, sched.Named); got != n {
+			t.Fatalf("n=%d: %d named", n, got)
+		}
+		if err := sched.VerifyUnique(res, inst.M()); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCombinedNameSpaceSizes(t *testing.T) {
+	// Corollary 7: m = n + 2n/(loglog n)^ell.
+	n := 1 << 16
+	c7 := NewCorollary7(n, RoundsConfig{Ell: 2}, nil)
+	wantExtra := 2 * n / 16 // (loglog 2^16)^2 = 16
+	if c7.Extra() != wantExtra {
+		t.Fatalf("corollary7 extra = %d, want %d", c7.Extra(), wantExtra)
+	}
+	if c7.M() != n+wantExtra {
+		t.Fatalf("corollary7 m = %d, want %d", c7.M(), n+wantExtra)
+	}
+	// Corollary 9: m = n + 2n/(log n)^ell.
+	c9 := NewCorollary9(n, ClustersConfig{Ell: 1}, nil)
+	if c9.Extra() != 2*n/16 {
+		t.Fatalf("corollary9 extra = %d, want %d", c9.Extra(), 2*n/16)
+	}
+}
+
+func TestCombinedOverflowNamesDisjoint(t *testing.T) {
+	// Names from the overflow space must start at n.
+	const n = 512
+	inst := NewCorollary7(n, RoundsConfig{Ell: 3}, backfill.Hybrid{})
+	res := sched.Run(sched.Config{N: n, Seed: 29, Fast: sched.FastFIFO, Body: inst.Body})
+	overflowUsed := 0
+	for _, r := range res {
+		if r.Status != sched.Named {
+			continue
+		}
+		if r.Name >= n {
+			overflowUsed++
+			if r.Name >= inst.M() {
+				t.Fatalf("name %d beyond m=%d", r.Name, inst.M())
+			}
+		}
+	}
+	if got := inst.Overflow().CountClaimed(); got != overflowUsed {
+		t.Fatalf("overflow claims %d, results show %d", got, overflowUsed)
+	}
+}
+
+func TestCombinedStepComplexityBounded(t *testing.T) {
+	// Total steps = inner budget + backfill cost. With Hybrid backfill the
+	// deterministic cap is inner + probes + extra-space size.
+	const n = 2048
+	inst := NewCorollary7(n, RoundsConfig{Ell: 1}, backfill.Hybrid{})
+	res := sched.Run(sched.Config{N: n, Seed: 31, Fast: sched.FastFIFO, Body: inst.Body})
+	cap := int64(inst.InnerStepBudget() + backfill.DefaultProbes + inst.Extra())
+	for _, r := range res {
+		if r.Steps > cap {
+			t.Fatalf("pid %d took %d steps, deterministic cap %d", r.PID, r.Steps, cap)
+		}
+	}
+	// Typical case: the backfill term is small; check the 95th percentile
+	// stays within inner budget + a handful of probes.
+	within := 0
+	for _, r := range res {
+		if r.Steps <= int64(inst.InnerStepBudget()+backfill.DefaultProbes) {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(n); frac < 0.95 {
+		t.Fatalf("only %.2f of processes within inner+probe budget", frac)
+	}
+}
+
+func TestCombinedAccessors(t *testing.T) {
+	inst := NewCorollary9(256, ClustersConfig{}, nil)
+	if inst.N() != 256 {
+		t.Fatalf("N = %d", inst.N())
+	}
+	if inst.M() <= 256 {
+		t.Fatalf("M = %d, want > n", inst.M())
+	}
+	if inst.Label() == "" || inst.Inner().Label() == "" {
+		t.Fatal("labels empty")
+	}
+	if inst.Clock() != nil {
+		t.Fatal("loose instances need no clock")
+	}
+	if _, ok := inst.Probeables()["overflow"]; !ok {
+		t.Fatal("overflow not probeable")
+	}
+	if _, ok := inst.Probeables()["names"]; !ok {
+		t.Fatal("names not probeable")
+	}
+}
+
+func TestCombinedUnderAdaptiveAdversary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptive policy is O(n log n) per step")
+	}
+	const n = 128
+	inst := NewCorollary7(n, RoundsConfig{Ell: 1}, nil)
+	res := RunSim(inst, 37, sched.Collider())
+	if got := sched.CountStatus(res, sched.Named); got != n {
+		t.Fatalf("%d named under collider", got)
+	}
+	if err := sched.VerifyUnique(res, inst.M()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"shmrename/internal/backfill"
+	"shmrename/internal/sched"
+	"shmrename/internal/shm"
+)
+
+// Compile-time conformance: every algorithm in the package is an Instance.
+var (
+	_ Instance = (*Tight)(nil)
+	_ Instance = (*LooseRounds)(nil)
+	_ Instance = (*LooseClusters)(nil)
+	_ Instance = (*Combined)(nil)
+	_ Instance = (*Adaptive)(nil)
+)
+
+func TestRunSimWrapper(t *testing.T) {
+	inst := NewLooseRounds(64, RoundsConfig{Ell: 2})
+	res := RunSim(inst, 3, sched.RoundRobin())
+	if len(res) != 64 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if err := sched.VerifyUnique(res, inst.M()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNativeWrapper(t *testing.T) {
+	inst := NewTight(128, TightConfig{SelfClocked: true})
+	res := RunNative(inst, 9)
+	if got := sched.CountStatus(res, sched.Named); got != 128 {
+		t.Fatalf("%d named", got)
+	}
+	if err := sched.VerifyUnique(res, inst.M()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTightSingleProcess(t *testing.T) {
+	inst := NewTight(1, TightConfig{SelfClocked: true})
+	res := sched.Run(sched.Config{N: 1, Seed: 1, Fast: sched.FastFIFO, Body: inst.Body})
+	if res[0].Status != sched.Named || res[0].Name != 0 {
+		t.Fatalf("n=1 result %+v", res[0])
+	}
+}
+
+func TestLooseRoundsNativeMode(t *testing.T) {
+	inst := NewLooseRounds(512, RoundsConfig{Ell: 3})
+	res := RunNative(inst, 17)
+	if err := sched.VerifyUnique(res, inst.M()); err != nil {
+		t.Fatal(err)
+	}
+	named := sched.CountStatus(res, sched.Named)
+	if claimed := inst.Space().CountClaimed(); claimed != named {
+		t.Fatalf("space %d vs named %d", claimed, named)
+	}
+}
+
+func TestCombinedWithExplicitStrategies(t *testing.T) {
+	// All backfill strategies compose correctly with both corollaries.
+	type mk func() Instance
+	makers := []mk{}
+	for _, s := range []backfill.Strategy{backfill.Uniform{}, backfill.Sweep{}, backfill.Hybrid{}} {
+		s := s
+		makers = append(makers,
+			func() Instance { return NewCorollary7(256, RoundsConfig{Ell: 1}, s) },
+			func() Instance { return NewCorollary9(256, ClustersConfig{Ell: 1}, s) },
+		)
+	}
+	for i, m := range makers {
+		inst := m()
+		res := sched.Run(sched.Config{
+			N: 256, Seed: uint64(i), Fast: sched.FastFIFO, Body: inst.Body,
+		})
+		if got := sched.CountStatus(res, sched.Named); got != 256 {
+			t.Fatalf("maker %d (%s): %d named", i, inst.Label(), got)
+		}
+		if err := sched.VerifyUnique(res, inst.M()); err != nil {
+			t.Fatalf("maker %d: %v", i, err)
+		}
+	}
+}
+
+func TestProbeablesOfUnlabeledSpace(t *testing.T) {
+	// A claim space that is not LabeledProbeable yields no probeables;
+	// the adversary then simply sees less, which must not break runs.
+	inst := NewLooseRoundsOn(32, RoundsConfig{}, plainSpace{shm.NewNameSpace("x", 32)})
+	if inst.Probeables() != nil {
+		t.Fatal("unlabeled space should expose no probeables")
+	}
+	res := RunSim(inst, 1, sched.Collider())
+	if err := sched.VerifyUnique(res, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// plainSpace hides NameSpace's Label method to exercise the unlabeled
+// path.
+type plainSpace struct{ ns *shm.NameSpace }
+
+func (p plainSpace) Size() int                         { return p.ns.Size() }
+func (p plainSpace) TryClaim(pr *shm.Proc, i int) bool { return p.ns.TryClaim(pr, i) }
+func (p plainSpace) Claimed(pr *shm.Proc, i int) bool  { return p.ns.Claimed(pr, i) }
+func (p plainSpace) CountClaimed() int                 { return p.ns.CountClaimed() }
+
+func TestLooseSpaceSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched space size accepted")
+		}
+	}()
+	NewLooseRoundsOn(16, RoundsConfig{}, shm.NewNameSpace("x", 8))
+}

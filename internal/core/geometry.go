@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"shmrename/internal/taureg"
+)
+
+// GeometryKind selects how the τ-register array of §III is partitioned
+// into clusters.
+type GeometryKind uint8
+
+// Geometry kinds.
+const (
+	// Corrected is the geometric cluster sequence with ratio (1-1/(2c))
+	// that the analysis of Lemma 4 actually supports: cluster bit counts
+	// c₁ = n/c, c_{i+1} = c_i·(1-1/(2c)), summing to 2n, so that every
+	// block receives ~2c·log n requests per round and total name capacity
+	// is exactly n. See DESIGN.md §4 for the reconciliation.
+	Corrected GeometryKind = iota
+	// PaperLiteral is the cluster sequence exactly as printed in the
+	// paper, c_i = n/(2c)^i with R from Definition 2(1). Its clusters can
+	// only name a 1/(2(2c-1)) fraction of the processes; the remaining
+	// name capacity is provided by reserve devices reachable only through
+	// the fallback sweep. Used by experiment E12 to demonstrate the
+	// inconsistency.
+	PaperLiteral
+)
+
+// String returns the kind's name.
+func (k GeometryKind) String() string {
+	switch k {
+	case Corrected:
+		return "corrected"
+	case PaperLiteral:
+		return "paper-literal"
+	default:
+		return fmt.Sprintf("geometry(%d)", uint8(k))
+	}
+}
+
+// Cluster is a contiguous run of τ-registers probed in one round.
+type Cluster struct {
+	FirstDevice int
+	Devices     int
+}
+
+// Geometry is the full layout of the auxiliary array Taux: the per-device
+// specs (threshold and name-block size) and the cluster partition. Reserve
+// devices (PaperLiteral only) carry capacity but belong to no cluster.
+type Geometry struct {
+	N     int
+	C     float64
+	Kind  GeometryKind
+	L     int // ⌈log₂ n⌉ (≥1): names per full device, the paper's "log n"
+	Width int // TAS bits per device: 2L, the paper's "2 log n"
+
+	Clusters []Cluster
+	Specs    []taureg.Spec
+
+	// ClusterNames is the total name capacity reachable through cluster
+	// probing; TotalNames-ClusterNames sits in reserve devices.
+	ClusterNames int
+}
+
+// NewGeometry computes the layout for n processes with constant c ≥ 1.
+// It panics if n < 1, c < 1, or the device width exceeds the 64-bit
+// hardware word (n beyond 2³²).
+func NewGeometry(n int, c float64, kind GeometryKind) Geometry {
+	if n < 1 {
+		panic("core: geometry requires n >= 1")
+	}
+	if c < 1 {
+		panic("core: geometry requires c >= 1")
+	}
+	L := CeilLog2(n)
+	if L < 1 {
+		L = 1
+	}
+	width := 2 * L
+	if width > taureg.MaxWidth {
+		panic(fmt.Sprintf("core: n = %d needs device width %d > %d", n, width, taureg.MaxWidth))
+	}
+	g := Geometry{N: n, C: c, Kind: kind, L: L, Width: width}
+	switch kind {
+	case Corrected:
+		g.buildCorrected()
+	case PaperLiteral:
+		g.buildPaperLiteral()
+	default:
+		panic(fmt.Sprintf("core: unknown geometry kind %d", kind))
+	}
+	return g
+}
+
+// buildCorrected lays out clusters so that the planned number of active
+// processes a_i shrinks by the factor (1-1/(2c)) per round: cluster i gets
+// ~a_i/c TAS bits (a_i/(2c) names), which delivers ~2c·log n requests per
+// block — the Lemma 3 regime — in every round.
+func (g *Geometry) buildCorrected() {
+	remaining := g.N // planned actives == unassigned name capacity
+	for remaining > 0 {
+		devs := int(math.Round(float64(remaining) / (g.C * float64(g.Width))))
+		if devs < 1 {
+			devs = 1
+		}
+		if devs*g.L > remaining {
+			devs = (remaining + g.L - 1) / g.L
+		}
+		g.Clusters = append(g.Clusters, Cluster{FirstDevice: len(g.Specs), Devices: devs})
+		for k := 0; k < devs; k++ {
+			names := g.L
+			if names > remaining {
+				names = remaining
+			}
+			g.Specs = append(g.Specs, taureg.Spec{Tau: names, Names: names})
+			remaining -= names
+		}
+	}
+	g.ClusterNames = g.N
+}
+
+// buildPaperLiteral lays out clusters exactly as Definition 2 states:
+// c_i = n/(2c)^i bits for i = 1..R with R chosen so that c_R ≈ 2 log n.
+// The clusters cover only ~n/(2(2c-1)) names; reserve devices own the rest
+// of the capacity so the instance remains a correct renamer.
+func (g *Geometry) buildPaperLiteral() {
+	n, c, width := float64(g.N), g.C, float64(g.Width)
+	// c_R = 2 log n  =>  R = log(n / 2 log n) / log(2c).
+	r := int(math.Round(math.Log2(n/width) / math.Log2(2*c)))
+	if r < 1 {
+		r = 1
+	}
+	capacity := 0
+	for i := 1; i <= r; i++ {
+		ci := n / math.Pow(2*c, float64(i))
+		devs := int(math.Round(ci / width))
+		if devs < 1 {
+			devs = 1
+		}
+		if (capacity + devs*g.L) > g.N { // cannot exceed the name space
+			devs = (g.N - capacity) / g.L
+			if devs < 1 {
+				break
+			}
+		}
+		g.Clusters = append(g.Clusters, Cluster{FirstDevice: len(g.Specs), Devices: devs})
+		for k := 0; k < devs; k++ {
+			g.Specs = append(g.Specs, taureg.Spec{Tau: g.L, Names: g.L})
+			capacity += g.L
+		}
+	}
+	g.ClusterNames = capacity
+	// Reserve devices: capacity up to exactly n, reachable only through
+	// the fallback sweep.
+	for capacity < g.N {
+		names := g.L
+		if names > g.N-capacity {
+			names = g.N - capacity
+		}
+		g.Specs = append(g.Specs, taureg.Spec{Tau: names, Names: names})
+		capacity += names
+	}
+}
+
+// NumDevices returns the number of τ-registers in the layout.
+func (g Geometry) NumDevices() int { return len(g.Specs) }
+
+// Rounds returns the number of clusters (the paper's R).
+func (g Geometry) Rounds() int { return len(g.Clusters) }
+
+// TotalBits returns the auxiliary TAS-bit count — Theorem 5's O(n) extra
+// space (≈2n for the corrected layout).
+func (g Geometry) TotalBits() int { return len(g.Specs) * g.Width }
+
+// TotalNames returns the name capacity, always exactly n.
+func (g Geometry) TotalNames() int {
+	t := 0
+	for _, s := range g.Specs {
+		t += s.Names
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Fatalf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLogHelpersClamped(t *testing.T) {
+	if LogLog2(2) < 1 || LogLogLog2(2) < 1 {
+		t.Fatal("log helpers must clamp at 1")
+	}
+	if got := LogLog2(1 << 16); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("LogLog2(2^16) = %v, want 4", got)
+	}
+	if got := LogLogLog2(1 << 16); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("LogLogLog2(2^16) = %v, want 2", got)
+	}
+}
+
+func TestCorrectedGeometryInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000, 1 << 12, 1 << 16, 100000} {
+		g := NewGeometry(n, 2, Corrected)
+		if got := g.TotalNames(); got != n {
+			t.Fatalf("n=%d: capacity %d != n", n, got)
+		}
+		if g.ClusterNames != n {
+			t.Fatalf("n=%d: corrected geometry must expose all capacity via clusters, got %d", n, g.ClusterNames)
+		}
+		// Extra space is O(n): at most ~2n bits plus slack for tiny n.
+		if n >= 64 && g.TotalBits() > 3*n {
+			t.Fatalf("n=%d: %d TAS bits exceeds 3n", n, g.TotalBits())
+		}
+		// Rounds are O(log n): 2c·ln n plus rounding tail.
+		if n >= 64 {
+			bound := int(2*g.C*math.Log(float64(n))) + 8*int(g.C) + 4
+			if g.Rounds() > bound {
+				t.Fatalf("n=%d: %d rounds exceeds O(log n) bound %d", n, g.Rounds(), bound)
+			}
+		}
+		// Clusters reference valid, contiguous, non-overlapping devices.
+		next := 0
+		for i, cl := range g.Clusters {
+			if cl.FirstDevice != next {
+				t.Fatalf("n=%d: cluster %d starts at %d, want %d", n, i, cl.FirstDevice, next)
+			}
+			if cl.Devices < 1 {
+				t.Fatalf("n=%d: cluster %d empty", n, i)
+			}
+			next += cl.Devices
+		}
+		if next != g.NumDevices() {
+			t.Fatalf("n=%d: clusters cover %d devices of %d", n, next, g.NumDevices())
+		}
+		for d, s := range g.Specs {
+			if s.Tau != s.Names || s.Tau < 0 || s.Tau > g.L {
+				t.Fatalf("n=%d: device %d has bad spec %+v", n, d, s)
+			}
+		}
+	}
+}
+
+func TestCorrectedGeometryRequestRate(t *testing.T) {
+	// The defining property of the corrected layout: with planned actives
+	// a_i, every cluster's blocks see ~2c·log n requests each. Verify the
+	// planned rate stays within [c, 4c]·L for all non-tail clusters.
+	n, c := 1<<16, 2.0
+	g := NewGeometry(n, c, Corrected)
+	a := float64(n)
+	for i, cl := range g.Clusters {
+		names := 0
+		for d := cl.FirstDevice; d < cl.FirstDevice+cl.Devices; d++ {
+			names += g.Specs[d].Names
+		}
+		rate := a / float64(cl.Devices) // planned requests per block
+		if names >= 4*g.L {             // skip the tiny tail clusters
+			if rate < c*float64(g.L) || rate > 4*c*float64(g.L) {
+				t.Fatalf("cluster %d: planned rate %.1f outside [%g, %g]",
+					i, rate, c*float64(g.L), 4*c*float64(g.L))
+			}
+		}
+		a -= float64(names)
+	}
+}
+
+func TestPaperLiteralGeometryDeficit(t *testing.T) {
+	// The literal Definition 2 sizes cover only ~n/(2(2c-1)) names through
+	// clusters; the rest must sit in reserve. This is the documented
+	// inconsistency (DESIGN.md §4).
+	n, c := 1<<16, 2.0
+	g := NewGeometry(n, c, PaperLiteral)
+	if got := g.TotalNames(); got != n {
+		t.Fatalf("capacity %d != n", got)
+	}
+	frac := float64(g.ClusterNames) / float64(n)
+	ideal := 1 / (2 * (2*c - 1)) // ≈ 0.167 for c=2
+	if frac > 2.5*ideal {
+		t.Fatalf("cluster capacity fraction %.3f too large; literal sizes should cover ≈%.3f", frac, ideal)
+	}
+	if frac < ideal/2.5 {
+		t.Fatalf("cluster capacity fraction %.3f suspiciously small", frac)
+	}
+	if g.Rounds() < 2 {
+		t.Fatalf("paper-literal layout has %d rounds", g.Rounds())
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGeometry(0, 2, Corrected) },
+		func() { NewGeometry(10, 0.5, Corrected) },
+		func() { NewGeometry(1<<33, 2, Corrected) }, // width > 64
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid geometry accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGeometryKindString(t *testing.T) {
+	if Corrected.String() != "corrected" || PaperLiteral.String() != "paper-literal" {
+		t.Fatal("GeometryKind.String mismatch")
+	}
+}
+
+func TestQuickGeometryCapacityExact(t *testing.T) {
+	f := func(nRaw uint16, cRaw uint8, literal bool) bool {
+		n := int(nRaw)%5000 + 1
+		c := 1 + float64(cRaw%8)/2 // 1.0 .. 4.5
+		kind := Corrected
+		if literal {
+			kind = PaperLiteral
+		}
+		g := NewGeometry(n, c, kind)
+		if g.TotalNames() != n {
+			return false
+		}
+		for _, s := range g.Specs {
+			if s.Tau != s.Names || s.Names < 0 || s.Names > g.L || s.Names > g.Width {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"shmrename/internal/shm"
+)
+
+// RoundsConfig parameterizes the Lemma 6 algorithm.
+type RoundsConfig struct {
+	// Ell is the paper's ℓ: survivors shrink to ~2n/(log log n)^ℓ at a
+	// step cost of (log log n)^ℓ. Default 1.
+	Ell int
+	// Gamma scales the per-round step counts (default 1). The paper's
+	// constants assume asymptotic n; at laptop-feasible sizes a small
+	// multiplier recovers the intended failure probabilities, and the
+	// experiments report results for γ=1 as stated.
+	Gamma float64
+}
+
+func (c *RoundsConfig) fill() {
+	if c.Ell <= 0 {
+		c.Ell = 1
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 1
+	}
+}
+
+// LooseRounds is the Lemma 6 algorithm: ℓ·log log log n rounds, round i
+// consisting of 2^i steps; in every step each still-unnamed process
+// test-and-sets one uniformly random register of the full n-register
+// space. Processes still unnamed at the end are survivors (the algorithm
+// is n/(log log n)^ℓ-almost tight w.h.p.).
+type LooseRounds struct {
+	n        int
+	cfg      RoundsConfig
+	space    shm.ClaimSpace
+	schedule []int // steps per round
+}
+
+// NewLooseRounds builds a Lemma 6 instance for n processes on n hardware
+// TAS registers.
+func NewLooseRounds(n int, cfg RoundsConfig) *LooseRounds {
+	return NewLooseRoundsOn(n, cfg, nil)
+}
+
+// NewLooseRoundsOn builds a Lemma 6 instance over the given claim space
+// (e.g. software TAS registers for the E9 ablation); a nil space selects
+// n hardware registers. The space must hold exactly n names.
+func NewLooseRoundsOn(n int, cfg RoundsConfig, space shm.ClaimSpace) *LooseRounds {
+	if n < 1 {
+		panic("core: LooseRounds requires n >= 1")
+	}
+	if space == nil {
+		space = shm.NewNameSpace("names", n)
+	}
+	if space.Size() != n {
+		panic(fmt.Sprintf("core: LooseRounds space has %d names, want %d", space.Size(), n))
+	}
+	cfg.fill()
+	rounds := int(math.Ceil(float64(cfg.Ell) * LogLogLog2(n)))
+	if rounds < 1 {
+		rounds = 1
+	}
+	schedule := make([]int, rounds)
+	for i := range schedule {
+		steps := int(math.Ceil(math.Pow(2, float64(i+1)) * cfg.Gamma))
+		if steps < 1 {
+			steps = 1
+		}
+		schedule[i] = steps
+	}
+	return &LooseRounds{
+		n:        n,
+		cfg:      cfg,
+		space:    space,
+		schedule: schedule,
+	}
+}
+
+// Label implements Instance.
+func (a *LooseRounds) Label() string {
+	return fmt.Sprintf("loose-rounds(l=%d)", a.cfg.Ell)
+}
+
+// N implements Instance.
+func (a *LooseRounds) N() int { return a.n }
+
+// M implements Instance: the algorithm probes a space of exactly n names.
+func (a *LooseRounds) M() int { return a.n }
+
+// Probeables implements Instance.
+func (a *LooseRounds) Probeables() map[string]shm.Probeable {
+	return probeablesOf(a.space)
+}
+
+// Clock implements Instance; the algorithm uses no hardware clock.
+func (a *LooseRounds) Clock() func() { return nil }
+
+// Space returns the underlying claim space (diagnostics, composition).
+func (a *LooseRounds) Space() shm.ClaimSpace { return a.space }
+
+// probeablesOf exposes a claim space to adaptive adversaries when it
+// supports probing.
+func probeablesOf(space shm.ClaimSpace) map[string]shm.Probeable {
+	if lp, ok := space.(shm.LabeledProbeable); ok {
+		return map[string]shm.Probeable{lp.Label(): lp}
+	}
+	return nil
+}
+
+// Rounds returns the round count ℓ·log log log n.
+func (a *LooseRounds) Rounds() int { return len(a.schedule) }
+
+// StepBudget returns the total probes per process, Σ 2^i ≈ (log log n)^ℓ
+// — the step-complexity bound of Lemma 6.
+func (a *LooseRounds) StepBudget() int {
+	t := 0
+	for _, s := range a.schedule {
+		t += s
+	}
+	return t
+}
+
+// SurvivorBound returns the Lemma 6 w.h.p. survivor bound
+// 2n/(log log n)^ℓ.
+func (a *LooseRounds) SurvivorBound() float64 {
+	return 2 * float64(a.n) / math.Pow(LogLog2(a.n), float64(a.cfg.Ell))
+}
+
+// Body implements Instance.
+func (a *LooseRounds) Body(p *shm.Proc) int {
+	r := p.Rand()
+	for _, steps := range a.schedule {
+		for s := 0; s < steps; s++ {
+			i := r.Intn(a.n)
+			if a.space.TryClaim(p, i) {
+				return i
+			}
+		}
+	}
+	return -1 // survivor
+}
+
+// ClustersConfig parameterizes the Lemma 8 algorithm.
+type ClustersConfig struct {
+	// Ell is the paper's ℓ: survivors shrink to ~n/(log n)^ℓ at a step
+	// cost of 2ℓ(log log n)². Default 1.
+	Ell int
+	// Gamma scales the per-phase step counts (default 1); see
+	// RoundsConfig.Gamma.
+	Gamma float64
+}
+
+func (c *ClustersConfig) fill() {
+	if c.Ell <= 0 {
+		c.Ell = 1
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 1
+	}
+}
+
+// LooseClusters is the Lemma 8 algorithm: the registers are divided into
+// log log n clusters, the j-th of size n/2^j; in phase i every unnamed
+// process spends 2ℓ·log log n steps probing uniformly random registers of
+// cluster i only.
+type LooseClusters struct {
+	n             int
+	cfg           ClustersConfig
+	space         shm.ClaimSpace
+	offsets       []int // cluster start index
+	sizes         []int // cluster sizes n/2^j
+	stepsPerPhase int
+}
+
+// NewLooseClusters builds a Lemma 8 instance for n processes on n
+// hardware registers (of which the clusters occupy Σ n/2^j < n).
+func NewLooseClusters(n int, cfg ClustersConfig) *LooseClusters {
+	return NewLooseClustersOn(n, cfg, nil)
+}
+
+// NewLooseClustersOn builds a Lemma 8 instance over the given claim space;
+// a nil space selects n hardware registers. The space must hold exactly n
+// names.
+func NewLooseClustersOn(n int, cfg ClustersConfig, space shm.ClaimSpace) *LooseClusters {
+	if n < 2 {
+		panic("core: LooseClusters requires n >= 2")
+	}
+	if space == nil {
+		space = shm.NewNameSpace("names", n)
+	}
+	if space.Size() != n {
+		panic(fmt.Sprintf("core: LooseClusters space has %d names, want %d", space.Size(), n))
+	}
+	cfg.fill()
+	phases := int(math.Ceil(LogLog2(n)))
+	if phases < 1 {
+		phases = 1
+	}
+	a := &LooseClusters{
+		n:     n,
+		cfg:   cfg,
+		space: space,
+	}
+	off := 0
+	for j := 1; j <= phases; j++ {
+		size := n >> uint(j)
+		if size < 1 {
+			size = 1
+		}
+		if off+size > n {
+			size = n - off
+			if size < 1 {
+				break
+			}
+		}
+		a.offsets = append(a.offsets, off)
+		a.sizes = append(a.sizes, size)
+		off += size
+	}
+	// The printed cluster sizes Σ n/2^j leave n/log n registers outside
+	// every cluster; those names could never be assigned and the survivor
+	// count could never drop below n/log n, contradicting the Lemma 8
+	// bound for ℓ >= 2. The analysis only needs the last cluster to be
+	// Θ(n/log n) large, so it absorbs the remainder (see DESIGN.md §4).
+	if off < n && len(a.sizes) > 0 {
+		a.sizes[len(a.sizes)-1] += n - off
+	}
+	a.stepsPerPhase = int(math.Ceil(2 * float64(cfg.Ell) * LogLog2(n) * cfg.Gamma))
+	if a.stepsPerPhase < 1 {
+		a.stepsPerPhase = 1
+	}
+	return a
+}
+
+// Label implements Instance.
+func (a *LooseClusters) Label() string {
+	return fmt.Sprintf("loose-clusters(l=%d)", a.cfg.Ell)
+}
+
+// N implements Instance.
+func (a *LooseClusters) N() int { return a.n }
+
+// M implements Instance.
+func (a *LooseClusters) M() int { return a.n }
+
+// Probeables implements Instance.
+func (a *LooseClusters) Probeables() map[string]shm.Probeable {
+	return probeablesOf(a.space)
+}
+
+// Clock implements Instance.
+func (a *LooseClusters) Clock() func() { return nil }
+
+// Space returns the underlying claim space (diagnostics, composition).
+func (a *LooseClusters) Space() shm.ClaimSpace { return a.space }
+
+// Phases returns the phase count ⌈log log n⌉.
+func (a *LooseClusters) Phases() int { return len(a.sizes) }
+
+// StepBudget returns the total probes per process,
+// ⌈log log n⌉ · 2ℓ·log log n ≈ 2ℓ(log log n)² — Lemma 8's bound.
+func (a *LooseClusters) StepBudget() int { return len(a.sizes) * a.stepsPerPhase }
+
+// SurvivorBound returns the Lemma 8 w.h.p. survivor bound n/(log n)^ℓ.
+func (a *LooseClusters) SurvivorBound() float64 {
+	return float64(a.n) / math.Pow(math.Log2(float64(a.n)), float64(a.cfg.Ell))
+}
+
+// Body implements Instance.
+func (a *LooseClusters) Body(p *shm.Proc) int {
+	r := p.Rand()
+	for ph := range a.sizes {
+		off, size := a.offsets[ph], a.sizes[ph]
+		for s := 0; s < a.stepsPerPhase; s++ {
+			i := off + r.Intn(size)
+			if a.space.TryClaim(p, i) {
+				return i
+			}
+		}
+	}
+	return -1 // survivor
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/sched"
+)
+
+func prngFor(seed uint64) *prng.Rand { return prng.New(seed) }
+
+func TestLooseRoundsSchedule(t *testing.T) {
+	a := NewLooseRounds(1<<16, RoundsConfig{Ell: 2})
+	// rounds = ceil(2 * logloglog(2^16)) = ceil(2*2) = 4
+	if got := a.Rounds(); got != 4 {
+		t.Fatalf("rounds = %d, want 4", got)
+	}
+	// budget = 2+4+8+16 = 30 ≈ (loglog n)^2 = 16 within constants
+	if got := a.StepBudget(); got != 30 {
+		t.Fatalf("budget = %d, want 30", got)
+	}
+	if a.SurvivorBound() != 2*65536.0/16.0 {
+		t.Fatalf("survivor bound = %v", a.SurvivorBound())
+	}
+}
+
+func TestLooseRoundsStepBoundRespected(t *testing.T) {
+	const n = 4096
+	a := NewLooseRounds(n, RoundsConfig{Ell: 1})
+	res := RunSim(a, 3, nil)
+	budget := int64(a.StepBudget())
+	for _, r := range res {
+		if r.Steps > budget {
+			t.Fatalf("pid %d took %d steps, budget %d", r.PID, r.Steps, budget)
+		}
+	}
+	if err := sched.VerifyUnique(res, n); err != nil {
+		t.Fatal(err)
+	}
+	named := sched.CountStatus(res, sched.Named)
+	if claimed := a.Space().CountClaimed(); claimed != named {
+		t.Fatalf("space shows %d claims, results show %d named", claimed, named)
+	}
+}
+
+func TestLooseRoundsSurvivorBound(t *testing.T) {
+	// Lemma 6: w.h.p. survivors <= 2n/(loglog n)^ell. Check across seeds
+	// with fast scheduling (fair FIFO).
+	for _, ell := range []int{1, 2} {
+		for _, n := range []int{1 << 12, 1 << 14} {
+			a := NewLooseRounds(n, RoundsConfig{Ell: ell})
+			for seed := uint64(0); seed < 3; seed++ {
+				inst := NewLooseRounds(n, RoundsConfig{Ell: ell})
+				res := sched.Run(sched.Config{
+					N: n, Seed: seed, Fast: sched.FastFIFO, Body: inst.Body,
+				})
+				survivors := sched.CountStatus(res, sched.Unnamed)
+				if float64(survivors) > a.SurvivorBound() {
+					t.Fatalf("n=%d ell=%d seed=%d: %d survivors > bound %.0f",
+						n, ell, seed, survivors, a.SurvivorBound())
+				}
+			}
+		}
+	}
+}
+
+func TestLooseClustersSchedule(t *testing.T) {
+	a := NewLooseClusters(1<<16, ClustersConfig{Ell: 1})
+	// phases = ceil(loglog 2^16) = 4; steps/phase = ceil(2*1*4) = 8
+	if got := a.Phases(); got != 4 {
+		t.Fatalf("phases = %d, want 4", got)
+	}
+	if got := a.StepBudget(); got != 32 {
+		t.Fatalf("budget = %d, want 32", got)
+	}
+}
+
+func TestLooseClustersClusterLayout(t *testing.T) {
+	const n = 1 << 12
+	a := NewLooseClusters(n, ClustersConfig{})
+	total := 0
+	last := len(a.sizes) - 1
+	for i, size := range a.sizes {
+		if size < 1 {
+			t.Fatalf("cluster %d empty", i)
+		}
+		if a.offsets[i] != total {
+			t.Fatalf("cluster %d offset %d, want %d", i, a.offsets[i], total)
+		}
+		want := n >> uint(i+1)
+		if i < last && size != want {
+			t.Fatalf("cluster %d size %d, want n/2^%d = %d", i, size, i+1, want)
+		}
+		if i == last && size < want {
+			t.Fatalf("last cluster size %d below n/2^%d = %d", size, i+1, want)
+		}
+		total += size
+	}
+	// The clusters must cover the whole space: the printed sizes leave
+	// n/log n registers unreachable, which would contradict the Lemma 8
+	// survivor bound for l >= 2 (see DESIGN.md §4); the last cluster
+	// absorbs the remainder.
+	if total != n {
+		t.Fatalf("clusters occupy %d registers, want exactly n = %d", total, n)
+	}
+}
+
+func TestLooseClustersSurvivorBound(t *testing.T) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		a := NewLooseClusters(n, ClustersConfig{Ell: 1})
+		for seed := uint64(0); seed < 3; seed++ {
+			inst := NewLooseClusters(n, ClustersConfig{Ell: 1})
+			res := sched.Run(sched.Config{
+				N: n, Seed: seed, Fast: sched.FastFIFO, Body: inst.Body,
+			})
+			survivors := sched.CountStatus(res, sched.Unnamed)
+			if float64(survivors) > a.SurvivorBound() {
+				t.Fatalf("n=%d seed=%d: %d survivors > bound %.0f",
+					n, seed, survivors, a.SurvivorBound())
+			}
+			if err := sched.VerifyUnique(res, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestLooseClustersStepBoundRespected(t *testing.T) {
+	const n = 4096
+	a := NewLooseClusters(n, ClustersConfig{Ell: 2})
+	res := RunSim(a, 7, nil)
+	budget := int64(a.StepBudget())
+	for _, r := range res {
+		if r.Steps > budget {
+			t.Fatalf("pid %d took %d steps, budget %d", r.PID, r.Steps, budget)
+		}
+	}
+}
+
+func TestLooseInstancesAccessors(t *testing.T) {
+	r := NewLooseRounds(256, RoundsConfig{})
+	c := NewLooseClusters(256, ClustersConfig{})
+	for _, inst := range []Instance{r, c} {
+		if inst.N() != 256 || inst.M() != 256 {
+			t.Fatalf("%s: N/M = %d/%d", inst.Label(), inst.N(), inst.M())
+		}
+		if inst.Clock() != nil {
+			t.Fatalf("%s: unexpected clock", inst.Label())
+		}
+		if _, ok := inst.Probeables()["names"]; !ok {
+			t.Fatalf("%s: names space not probeable", inst.Label())
+		}
+		if inst.Label() == "" {
+			t.Fatal("empty label")
+		}
+	}
+}
+
+func TestLoosePanicsOnBadN(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLooseRounds(0, RoundsConfig{}) },
+		func() { NewLooseClusters(1, ClustersConfig{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad n accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLooseGammaScalesBudget(t *testing.T) {
+	a1 := NewLooseRounds(1<<16, RoundsConfig{Ell: 1, Gamma: 1})
+	a2 := NewLooseRounds(1<<16, RoundsConfig{Ell: 1, Gamma: 3})
+	if a2.StepBudget() < 3*a1.StepBudget()-3 {
+		t.Fatalf("gamma=3 budget %d vs gamma=1 budget %d", a2.StepBudget(), a1.StepBudget())
+	}
+	c1 := NewLooseClusters(1<<16, ClustersConfig{Ell: 1, Gamma: 2})
+	c0 := NewLooseClusters(1<<16, ClustersConfig{Ell: 1, Gamma: 1})
+	if c1.StepBudget() < 2*c0.StepBudget()-c0.Phases() {
+		t.Fatalf("gamma=2 budget %d vs %d", c1.StepBudget(), c0.StepBudget())
+	}
+}

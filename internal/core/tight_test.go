@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"shmrename/internal/sched"
+)
+
+// runTight executes a tight instance under the fair FIFO schedule with
+// self-clocked devices (observably equivalent to the external hardware
+// clock — see DESIGN.md §3 — and much cheaper to simulate).
+func runTight(t *testing.T, n int, cfg TightConfig, seed uint64) (*Tight, []sched.Result) {
+	t.Helper()
+	cfg.SelfClocked = true
+	inst := NewTight(n, cfg)
+	res := sched.Run(sched.Config{N: n, Seed: seed, Fast: sched.FastFIFO, Body: inst.Body})
+	if got := sched.CountStatus(res, sched.Named); got != n {
+		t.Fatalf("n=%d: %d named, want %d", n, got, n)
+	}
+	if err := sched.VerifyUnique(res, inst.M()); err != nil {
+		t.Fatalf("n=%d: %v", n, err)
+	}
+	return inst, res
+}
+
+func TestTightRenamesAllSmall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17, 64, 100} {
+		runTight(t, n, TightConfig{}, 11)
+	}
+}
+
+func TestTightRenamesAllMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-size simulation")
+	}
+	for _, n := range []int{256, 1024} {
+		inst, _ := runTight(t, n, TightConfig{}, 5)
+		// Tightness: all n names [0,n) used exactly.
+		if got := inst.Array().NamesClaimed(); got != n {
+			t.Fatalf("n=%d: %d names claimed", n, got)
+		}
+	}
+}
+
+func TestTightStepComplexityLogarithmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-size simulation")
+	}
+	// Theorem 5: O(log n) steps w.h.p. Check max steps <= K·log2 n with a
+	// generous constant across sizes and seeds.
+	const K = 12
+	for _, n := range []int{128, 512, 2048} {
+		for seed := uint64(0); seed < 3; seed++ {
+			inst := NewTight(n, TightConfig{SelfClocked: true})
+			res := sched.Run(sched.Config{N: n, Seed: seed, Fast: sched.FastFIFO, Body: inst.Body})
+			if got := sched.CountStatus(res, sched.Named); got != n {
+				t.Fatalf("n=%d seed=%d: %d named", n, seed, got)
+			}
+			maxSteps := sched.MaxSteps(res)
+			bound := int64(K * math.Log2(float64(n)))
+			if maxSteps > bound {
+				t.Fatalf("n=%d seed=%d: max steps %d > %d·log n = %d",
+					n, seed, maxSteps, K, bound)
+			}
+		}
+	}
+}
+
+func TestTightCorrectedMostlyAvoidsFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-size simulation")
+	}
+	const n = 2048
+	inst, _ := runTight(t, n, TightConfig{}, 3)
+	s := inst.Stats()
+	if s.ClusterTotal+s.Fallback != int64(n) {
+		t.Fatalf("wins %d+%d != n", s.ClusterTotal, s.Fallback)
+	}
+	if frac := float64(s.Fallback) / float64(n); frac > 0.05 {
+		t.Fatalf("fallback fraction %.3f too high for corrected geometry", frac)
+	}
+}
+
+func TestTightPaperLiteralLeansOnFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-size simulation")
+	}
+	// The documented inconsistency (E12): the literal cluster sizes can
+	// name at most ~n/6 processes for c=2; everyone else must use the
+	// fallback. Correctness must still hold.
+	const n = 2048
+	inst, _ := runTight(t, n, TightConfig{Geometry: PaperLiteral}, 3)
+	s := inst.Stats()
+	if s.ClusterTotal+s.Fallback != int64(n) {
+		t.Fatalf("wins %d+%d != n", s.ClusterTotal, s.Fallback)
+	}
+	if frac := float64(s.Fallback) / float64(n); frac < 0.5 {
+		t.Fatalf("fallback fraction %.3f; expected the majority under the literal geometry", frac)
+	}
+}
+
+func TestTightUnderAdaptiveAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptive policies are O(n log n) per step")
+	}
+	const n = 128
+	for _, policy := range []sched.Policy{sched.Random(), sched.Collider(), sched.Starve(0, 1)} {
+		inst := NewTight(n, TightConfig{})
+		res := RunSim(inst, 9, policy)
+		if got := sched.CountStatus(res, sched.Named); got != n {
+			t.Fatalf("policy %s: %d named", policy.Name(), got)
+		}
+		if err := sched.VerifyUnique(res, n); err != nil {
+			t.Fatalf("policy %s: %v", policy.Name(), err)
+		}
+	}
+}
+
+func TestTightWithCrashes(t *testing.T) {
+	// Crashed processes take no names; every surviving process still gets
+	// a distinct name in [0, n) even though crashed requesters may strand
+	// provisional bits.
+	// maxStep 2 guarantees every victim crashes on its first or second
+	// operation — before it can finish, since acquiring a name takes at
+	// least three operations (probe, resolve, claim).
+	const n = 96
+	plan := sched.PlanCrashes(n, 0.25, 2, prngFor(77))
+	inst := NewTight(n, TightConfig{})
+	res := RunSim(inst, 13, sched.WithCrashes(sched.RoundRobin(), plan))
+	crashed := sched.CountStatus(res, sched.Crashed)
+	named := sched.CountStatus(res, sched.Named)
+	if crashed != len(plan) {
+		t.Fatalf("crashed %d, want %d", crashed, len(plan))
+	}
+	if named != n-crashed {
+		t.Fatalf("named %d, want %d", named, n-crashed)
+	}
+	if err := sched.VerifyUnique(res, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTightNativeMode(t *testing.T) {
+	const n = 512
+	inst := NewTight(n, TightConfig{SelfClocked: true})
+	res := RunNative(inst, 21)
+	if got := sched.CountStatus(res, sched.Named); got != n {
+		t.Fatalf("%d named, want %d", got, n)
+	}
+	if err := sched.VerifyUnique(res, n); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Array().NamesClaimed(); got != n {
+		t.Fatalf("%d names claimed", got)
+	}
+}
+
+func TestTightDeterministicAcrossRuns(t *testing.T) {
+	run := func() []sched.Result {
+		return RunSim(NewTight(200, TightConfig{}), 31, nil)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pid %d: %+v vs %+v", a[i].PID, a[i], b[i])
+		}
+	}
+}
+
+func TestTightVariousC(t *testing.T) {
+	for _, c := range []float64{1, 1.5, 3, 6} {
+		inst := NewTight(128, TightConfig{C: c})
+		res := RunSim(inst, 2, nil)
+		if got := sched.CountStatus(res, sched.Named); got != 128 {
+			t.Fatalf("c=%g: %d named", c, got)
+		}
+		if err := sched.VerifyUnique(res, 128); err != nil {
+			t.Fatalf("c=%g: %v", c, err)
+		}
+	}
+}
+
+func TestTightLabelAndAccessors(t *testing.T) {
+	inst := NewTight(64, TightConfig{})
+	if inst.N() != 64 || inst.M() != 64 {
+		t.Fatalf("N/M = %d/%d", inst.N(), inst.M())
+	}
+	if inst.Label() == "" {
+		t.Fatal("empty label")
+	}
+	if inst.Clock() == nil {
+		t.Fatal("externally clocked instance must expose a clock hook")
+	}
+	native := NewTight(64, TightConfig{SelfClocked: true})
+	if native.Clock() != nil {
+		t.Fatal("self-clocked instance must not expose a clock hook")
+	}
+	if len(inst.Probeables()) == 0 {
+		t.Fatal("no probeables exposed")
+	}
+}

@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"shmrename/internal/balls"
+	"shmrename/internal/metrics"
+)
+
+// expE1 validates Lemma 3: throwing 2c·log n balls into 2·log n bins
+// leaves at most log n empty bins with probability ≥ 1 - 1/n^ℓ.
+func expE1() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "Lemma 3: empty bins after 2c·log n balls into 2·log n bins",
+		Claim: "Pr[empty > log n] <= 1/n^l for c >= max{ln 2, 2l+2}",
+		Run: func(cfg Config) []*metrics.Table {
+			tab := metrics.NewTable("E1 Lemma 3 empty bins",
+				"c", "n", "bins", "balls", "thresh=log n", "mean empty",
+				"E[empty]", "max empty", "failures", "trials", "paper bound")
+			tab.Note = "failure = trial with more than log n empty bins"
+			trials := cfg.trials() * 300
+			for _, c := range []float64{2, 4, 6} {
+				for _, n := range cfg.sweep(pow2s(10, 16), pow2s(10, 20)) {
+					s := balls.RunLemma3(n, c, trials, cfg.Seed)
+					bins := 2 * s.Threshold
+					ballCount := int(2 * c * float64(s.Threshold))
+					tab.AddRow(c, n, bins, ballCount, s.Threshold,
+						s.MeanEmpty, balls.ExpectedEmpty(ballCount, bins),
+						s.MaxEmpty, s.Failures, s.Trials,
+						balls.Lemma3FailureBound(n, c))
+				}
+			}
+			return []*metrics.Table{tab}
+		},
+	}
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"shmrename/internal/baseline"
+	"shmrename/internal/core"
+	"shmrename/internal/metrics"
+	"shmrename/internal/sortnet"
+	"shmrename/internal/tas"
+)
+
+// expE8 reruns the paper's motivating comparison: the τ-register tight
+// renamer against the sorting-network construction of [7] (Batcher
+// instantiation), folklore uniform probing, and the deterministic linear
+// scan. The shape to reproduce: τ-register wins with O(log n) against
+// O(log² n) for the network and Θ(n) for the others.
+func expE8() Experiment {
+	return Experiment{
+		ID:    "E8",
+		Title: "Baseline comparison: who wins, by what factor",
+		Claim: "tau-register O(log n) < Batcher O(log^2 n) << uniform/linear Theta(n)",
+		Run: func(cfg Config) []*metrics.Table {
+			type algo struct {
+				name    string
+				factory func(n int) core.Instance
+			}
+			algos := []algo{
+				{"tight-tau", func(n int) core.Instance {
+					return core.NewTight(n, core.TightConfig{SelfClocked: true})
+				}},
+				{"sortnet-batcher", func(n int) core.Instance {
+					return sortnet.NewRenamerN(n)
+				}},
+				{"uniform-probe", func(n int) core.Instance {
+					return baseline.NewUniformProbe(n)
+				}},
+				{"segmented-probe", func(n int) core.Instance {
+					return baseline.NewSegmentedProbe(n, 0)
+				}},
+				{"linear-scan", func(n int) core.Instance {
+					return baseline.NewLinearScan(n)
+				}},
+			}
+			tab := metrics.NewTable("E8 step complexity by algorithm",
+				"n", "algorithm", "steps p50", "steps p90", "steps max",
+				"steps mean", "log2 n", "batcher depth")
+			ns := cfg.sweep(pow2s(6, 11), pow2s(6, 13))
+			meanByAlgo := make(map[string][]float64)
+			nsByAlgo := make(map[string][]int)
+			for _, n := range ns {
+				depth := sortnet.OddEvenMergeSort(sortnet.NextPow2(n)).Depth()
+				for _, a := range algos {
+					// The deterministic scan simulates Θ(n²) total steps;
+					// cap it so full sweeps stay tractable. Its growth is
+					// exactly linear anyway (R²=1 on the smaller points).
+					if a.name == "linear-scan" && n > 1<<12 {
+						continue
+					}
+					stats := measure(func() core.Instance { return a.factory(n) }, cfg)
+					sum := metrics.Summarize(maxStepsOf(stats))
+					meanByAlgo[a.name] = append(meanByAlgo[a.name], sum.Mean)
+					nsByAlgo[a.name] = append(nsByAlgo[a.name], n)
+					tab.AddRow(n, a.name, sum.P50, sum.P90, sum.Max, sum.Mean,
+						core.CeilLog2(n), depth)
+				}
+			}
+			fits := metrics.NewTable("E8 growth fits (mean max-steps)",
+				"algorithm", "vs log2 n", "vs (log2 n)^2", "vs n")
+			for _, a := range algos {
+				y := meanByAlgo[a.name]
+				xs := nsByAlgo[a.name]
+				fits.AddRow(a.name,
+					fitRow(metrics.FitAgainst(xs, y, metrics.ShapeLog), "log2 n"),
+					fitRow(metrics.FitAgainst(xs, y, metrics.ShapeLog2Sq), "(log2 n)^2"),
+					fitRow(metrics.FitAgainst(xs, y, metrics.ShapeLinear), "n"))
+			}
+			return []*metrics.Table{tab, fits}
+		},
+	}
+}
+
+// expE9 quantifies the related-work remark that implementing test-and-set
+// from read/write registers multiplies the step complexity: Lemma 6 on
+// hardware TAS versus the tournament software TAS of package tas.
+func expE9() Experiment {
+	return Experiment{
+		ID:    "E9",
+		Title: "Hardware vs software test-and-set (Lemma 6 workload)",
+		Claim: "software TAS multiplies step complexity (Theta(log n) for the tournament; [12] gets O(log* k))",
+		Run: func(cfg Config) []*metrics.Table {
+			tab := metrics.NewTable("E9 TAS implementation ablation",
+				"n", "hw steps mean", "sw steps mean", "overhead factor",
+				"log2 n", "hw survivors max", "sw survivors max")
+			for _, n := range cfg.sweep(pow2s(6, 9), pow2s(6, 10)) {
+				hw := measure(func() core.Instance {
+					return core.NewLooseRounds(n, core.RoundsConfig{Ell: 1})
+				}, cfg)
+				sw := measure(func() core.Instance {
+					space := tas.NewRWSpace("rwtas", n, n)
+					return core.NewLooseRoundsOn(n, core.RoundsConfig{Ell: 1}, space)
+				}, cfg)
+				hwSteps := metrics.Summarize(maxStepsOf(hw))
+				swSteps := metrics.Summarize(maxStepsOf(sw))
+				factor := 0.0
+				if hwSteps.Mean > 0 {
+					factor = swSteps.Mean / hwSteps.Mean
+				}
+				tab.AddRow(n, hwSteps.Mean, swSteps.Mean, factor,
+					core.CeilLog2(n),
+					metrics.Summarize(survivorsOf(hw)).Max,
+					metrics.Summarize(survivorsOf(sw)).Max)
+			}
+			return []*metrics.Table{tab}
+		},
+	}
+}

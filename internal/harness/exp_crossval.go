@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+
+	"shmrename/internal/core"
+	"shmrename/internal/metrics"
+	"shmrename/internal/sched"
+)
+
+// expE14 cross-validates the measurement instrument: the same algorithm
+// run under the deterministic simulator (serialized steps, fair FIFO) and
+// natively on goroutines with sync/atomic (real hardware interleavings)
+// must show step complexities of the same magnitude and shape. This backs
+// every other experiment's use of simulated step counts.
+func expE14() Experiment {
+	return Experiment{
+		ID:    "E14",
+		Title: "Cross-validation: simulated vs native step complexity",
+		Claim: "step counts are a property of the algorithm, not the simulator",
+		Run: func(cfg Config) []*metrics.Table {
+			tab := metrics.NewTable("E14 simulator vs native (tight-tau)",
+				"n", "sim steps p50", "sim steps max", "native steps p50",
+				"native steps max", "native/sim p50 ratio", "both all-named")
+			for _, n := range cfg.sweep(pow2s(8, 11), pow2s(8, 14)) {
+				simStats := measure(func() core.Instance {
+					return core.NewTight(n, core.TightConfig{SelfClocked: true})
+				}, cfg)
+				var natStats []runStats
+				for t := 0; t < cfg.trials(); t++ {
+					inst := core.NewTight(n, core.TightConfig{SelfClocked: true})
+					res := sched.RunNative(n, cfg.Seed+uint64(t), inst.Body)
+					if err := sched.VerifyUnique(res, n); err != nil {
+						panic(fmt.Sprintf("E14 native trial %d: %v", t, err))
+					}
+					natStats = append(natStats, runStats{
+						maxSteps: sched.MaxSteps(res),
+						named:    sched.CountStatus(res, sched.Named),
+					})
+				}
+				sim := metrics.Summarize(maxStepsOf(simStats))
+				nat := metrics.Summarize(maxStepsOf(natStats))
+				ratio := 0.0
+				if sim.P50 > 0 {
+					ratio = float64(nat.P50) / float64(sim.P50)
+				}
+				tab.AddRow(n, sim.P50, sim.Max, nat.P50, nat.Max, ratio,
+					allNamed(simStats, n) && allNamed(natStats, n))
+			}
+			tab.Note = "native interleavings differ from the fair simulated schedule, " +
+				"so ratios near 1 (same magnitude) validate the instrument"
+			return []*metrics.Table{tab}
+		},
+	}
+}

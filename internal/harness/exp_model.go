@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"shmrename/internal/core"
+	"shmrename/internal/metrics"
+	"shmrename/internal/prng"
+	"shmrename/internal/sched"
+	"shmrename/internal/shm"
+	"shmrename/internal/taureg"
+)
+
+// expE10 exercises the §II.A model: the algorithms must stay correct (and
+// their step complexity comparable) under fair, random, contention-seeking
+// and starving adaptive adversaries, and under crash failures.
+func expE10() Experiment {
+	return Experiment{
+		ID:    "E10",
+		Title: "Adaptive adversaries and crash failures",
+		Claim: "correctness under any adaptive schedule; crashed processes take no names",
+		Run: func(cfg Config) []*metrics.Table {
+			const n = 128
+			type algo struct {
+				name    string
+				factory func() core.Instance
+			}
+			algos := []algo{
+				{"tight-tau", func() core.Instance {
+					return core.NewTight(n, core.TightConfig{SelfClocked: true})
+				}},
+				{"corollary7", func() core.Instance {
+					return core.NewCorollary7(n, core.RoundsConfig{Ell: 1}, nil)
+				}},
+			}
+			policies := []func() sched.Policy{
+				sched.RoundRobin,
+				sched.Random,
+				sched.Collider,
+				func() sched.Policy { return sched.Starve(0, 1, 2, 3) },
+			}
+			tab := metrics.NewTable("E10 adversary ablation",
+				"algorithm", "policy", "named", "crashed", "steps p50",
+				"steps max", "unique ok")
+			for _, a := range algos {
+				for _, mk := range policies {
+					stats, name := runUnderPolicy(a.factory, mk, 0, cfg)
+					sum := metrics.Summarize(maxStepsOf(stats))
+					tab.AddRow(a.name, name, meanNamed(stats), meanCrashed(stats),
+						sum.P50, sum.Max, true)
+				}
+			}
+			crash := metrics.NewTable("E10 crash injection (tight-tau, round-robin)",
+				"crash frac", "named mean", "crashed mean", "steps max", "unique ok")
+			for _, frac := range []float64{0.1, 0.3, 0.5} {
+				stats, _ := runUnderPolicy(algos[0].factory, sched.RoundRobin, frac, cfg)
+				sum := metrics.Summarize(maxStepsOf(stats))
+				crash.AddRow(frac, meanNamed(stats), meanCrashed(stats), sum.Max, true)
+			}
+			crash.Note = "every surviving process must hold a distinct name in [0, n)"
+			return []*metrics.Table{tab, crash}
+		},
+	}
+}
+
+// runUnderPolicy measures trials under an adaptive policy, optionally
+// crashing a fraction of processes at adversarial times. It panics on any
+// uniqueness violation.
+func runUnderPolicy(factory func() core.Instance, mkPolicy func() sched.Policy, crashFrac float64, cfg Config) ([]runStats, string) {
+	var stats []runStats
+	var name string
+	for t := 0; t < cfg.trials(); t++ {
+		inst := factory()
+		policy := mkPolicy()
+		name = policy.Name()
+		if crashFrac > 0 {
+			plan := sched.PlanCrashes(inst.N(), crashFrac, 2, prng.New(cfg.Seed+uint64(t)))
+			policy = sched.WithCrashes(policy, plan)
+			name = policy.Name()
+		}
+		res := sched.Run(sched.Config{
+			N:         inst.N(),
+			Seed:      cfg.Seed + uint64(t),
+			Policy:    policy,
+			Body:      inst.Body,
+			AfterStep: inst.Clock(),
+			Spaces:    inst.Probeables(),
+		})
+		if err := sched.VerifyUnique(res, inst.M()); err != nil {
+			panic(fmt.Sprintf("E10 %s trial %d: %v", name, t, err))
+		}
+		crashed := sched.CountStatus(res, sched.Crashed)
+		named := sched.CountStatus(res, sched.Named)
+		if named+crashed+sched.CountStatus(res, sched.Unnamed) != inst.N() {
+			panic("E10: results do not partition the processes")
+		}
+		stats = append(stats, runStats{
+			maxSteps: sched.MaxSteps(res),
+			named:    named,
+			crashed:  crashed,
+		})
+	}
+	return stats, name
+}
+
+func meanNamed(stats []runStats) float64 {
+	t := 0
+	for _, s := range stats {
+		t += s.named
+	}
+	return float64(t) / float64(len(stats))
+}
+
+func meanCrashed(stats []runStats) float64 {
+	t := 0
+	for _, s := range stats {
+		t += s.crashed
+	}
+	return float64(t) / float64(len(stats))
+}
+
+// expE11 stress-tests the §II.C counting device under real parallelism:
+// the threshold must never be exceeded, winners must be distinct, and
+// every request must resolve.
+func expE11() Experiment {
+	return Experiment{
+		ID:    "E11",
+		Title: "Counting device stress (§II.C)",
+		Claim: "never more than tau confirmed; winners distinct; all requests resolve",
+		Run: func(cfg Config) []*metrics.Table {
+			tab := metrics.NewTable("E11 counting device stress",
+				"width", "tau", "procs", "trials", "violations",
+				"winners==tau", "mean cycles", "unresolved")
+			type point struct{ width, tau, procs int }
+			points := []point{
+				{16, 4, 32}, {16, 8, 64}, {32, 16, 128},
+				{64, 16, 256}, {64, 32, 512}, {64, 1, 64},
+			}
+			for _, pt := range points {
+				violations, unresolved, saturated := 0, 0, 0
+				var cycles int64
+				for tr := 0; tr < cfg.trials(); tr++ {
+					v, u, winners, cyc := stressDevice(pt.width, pt.tau, pt.procs, cfg.Seed+uint64(tr))
+					violations += v
+					unresolved += u
+					if winners == pt.tau {
+						saturated++
+					}
+					cycles += cyc
+				}
+				tab.AddRow(pt.width, pt.tau, pt.procs, cfg.trials(), violations,
+					saturated == cfg.trials(),
+					float64(cycles)/float64(cfg.trials()), unresolved)
+			}
+			tab.Note = "violations and unresolved must be 0 in every row"
+			return []*metrics.Table{tab}
+		},
+	}
+}
+
+// stressDevice hammers one self-clocked device with procs goroutines and
+// reports (threshold violations, unresolved requests, distinct winners,
+// cycles run).
+func stressDevice(width, tau, procs int, seed uint64) (violations, unresolved, winners int, cycles int64) {
+	dev := taureg.NewDevice("stress", width, tau, true)
+	won := make([]int, procs)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			p := shm.NewProc(pid, prng.NewStream(seed, pid), nil, 1<<20)
+			r := p.Rand()
+			won[pid] = -1
+			for attempt := 0; attempt < 4*width; attempt++ {
+				b := r.Intn(width)
+				switch dev.AcquireBit(p, b) {
+				case taureg.Won:
+					won[pid] = b
+					return
+				case taureg.Lost:
+					// try another bit
+				default:
+					unresolved++ // AcquireBit never returns Pending
+					return
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	holders := map[int]int{}
+	for pid, b := range won {
+		if b < 0 {
+			continue
+		}
+		if _, dup := holders[b]; dup {
+			violations++
+		}
+		holders[b] = pid
+	}
+	winners = len(holders)
+	if dev.ConfirmedCount() > tau || winners > tau {
+		violations++
+	}
+	return violations, unresolved, winners, dev.Cycles()
+}

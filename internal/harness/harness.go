@@ -1,0 +1,155 @@
+// Package harness defines the experiment suite E1-E12 that regenerates
+// every quantitative claim of the paper (see DESIGN.md §6 for the index).
+// Each experiment sweeps its parameters over seeded trials, verifies
+// correctness of every execution, and emits report tables consumed by
+// cmd/renamebench and recorded in EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+
+	"shmrename/internal/core"
+	"shmrename/internal/metrics"
+	"shmrename/internal/sched"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	// Trials is the number of seeded trials per parameter point.
+	// Zero selects DefaultTrials.
+	Trials int
+	// Seed is the base seed; trial t of a sweep uses Seed+t.
+	Seed uint64
+	// Full widens the n-sweeps to the sizes used for EXPERIMENTS.md
+	// (minutes instead of seconds).
+	Full bool
+}
+
+// DefaultTrials is the per-point trial count when Config.Trials is zero.
+const DefaultTrials = 7
+
+func (c Config) trials() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return DefaultTrials
+}
+
+// sweep returns the experiment's n values: quick for tests, full for
+// report generation.
+func (c Config) sweep(quick, full []int) []int {
+	if c.Full {
+		return full
+	}
+	return quick
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(cfg Config) []*metrics.Table
+}
+
+// All returns the full suite in index order.
+func All() []Experiment {
+	return []Experiment{
+		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
+		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
+		expE13(), expE14(),
+	}
+}
+
+// ByID looks up one experiment (case-sensitive, e.g. "E4").
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// runStats aggregates one instance execution.
+type runStats struct {
+	maxSteps  int64
+	survivors int
+	named     int
+	crashed   int
+}
+
+// measure runs trials of factory-built instances under the fair FIFO
+// schedule and collects per-trial statistics. It panics if any execution
+// produces duplicate or out-of-range names — experiments must never
+// silently report an incorrect run.
+func measure(factory func() core.Instance, cfg Config) []runStats {
+	out := make([]runStats, 0, cfg.trials())
+	for t := 0; t < cfg.trials(); t++ {
+		inst := factory()
+		res := sched.Run(sched.Config{
+			N:    inst.N(),
+			Seed: cfg.Seed + uint64(t),
+			Fast: sched.FastFIFO,
+			Body: inst.Body,
+		})
+		if err := sched.VerifyUnique(res, inst.M()); err != nil {
+			panic(fmt.Sprintf("harness: %s trial %d: %v", inst.Label(), t, err))
+		}
+		out = append(out, runStats{
+			maxSteps:  sched.MaxSteps(res),
+			survivors: sched.CountStatus(res, sched.Unnamed),
+			named:     sched.CountStatus(res, sched.Named),
+			crashed:   sched.CountStatus(res, sched.Crashed),
+		})
+	}
+	return out
+}
+
+func maxStepsOf(stats []runStats) []int64 {
+	out := make([]int64, len(stats))
+	for i, s := range stats {
+		out[i] = s.maxSteps
+	}
+	return out
+}
+
+func survivorsOf(stats []runStats) []int64 {
+	out := make([]int64, len(stats))
+	for i, s := range stats {
+		out[i] = int64(s.survivors)
+	}
+	return out
+}
+
+func allNamed(stats []runStats, n int) bool {
+	for _, s := range stats {
+		if s.named != n {
+			return false
+		}
+	}
+	return true
+}
+
+// pow2s returns 2^lo .. 2^hi.
+func pow2s(lo, hi int) []int {
+	var out []int
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}
+
+// fitRow formats a fit as "A + B·shape (R²=...)".
+func fitRow(f metrics.Fit, shape string) string {
+	return fmt.Sprintf("%.1f + %.2f·%s (R2=%.3f)", f.A, f.B, shape, f.R2)
+}

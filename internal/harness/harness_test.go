@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"shmrename/internal/metrics"
+)
+
+func tiny() Config { return Config{Trials: 2, Seed: 11} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("ByID(%s) missing", id)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete: %+v", id, e)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{}).trials() != DefaultTrials {
+		t.Fatal("default trials")
+	}
+	if (Config{Trials: 3}).trials() != 3 {
+		t.Fatal("explicit trials")
+	}
+	q := Config{}.sweep([]int{1}, []int{1, 2})
+	if len(q) != 1 {
+		t.Fatal("quick sweep")
+	}
+	f := Config{Full: true}.sweep([]int{1}, []int{1, 2})
+	if len(f) != 2 {
+		t.Fatal("full sweep")
+	}
+}
+
+func TestPow2s(t *testing.T) {
+	got := pow2s(3, 5)
+	want := []int{8, 16, 32}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pow2s = %v", got)
+		}
+	}
+}
+
+// checkTables runs an experiment at tiny scale and sanity-checks output.
+func checkTables(t *testing.T, id string) []*metrics.Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("missing %s", id)
+	}
+	tabs := e.Run(tiny())
+	if len(tabs) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s table %q has no rows", id, tab.Title)
+		}
+		out := tab.Render()
+		if !strings.Contains(out, tab.Title) {
+			t.Fatalf("%s render missing title", id)
+		}
+		if tab.CSV() == "" {
+			t.Fatalf("%s CSV empty", id)
+		}
+	}
+	return tabs
+}
+
+func TestE1Lemma3HoldsAtLargeC(t *testing.T) {
+	tabs := checkTables(t, "E1")
+	// Every c=6 row must report zero failures (bound <= 1/n^2).
+	for _, row := range tabs[0].Rows {
+		if row[0] == "6" && row[8] != "0" {
+			t.Fatalf("E1 c=6 row has failures: %v", row)
+		}
+	}
+}
+
+func TestE2AllNamed(t *testing.T) {
+	tabs := checkTables(t, "E2")
+	for _, row := range tabs[0].Rows {
+		if row[7] != "true" {
+			t.Fatalf("E2 row not all named: %v", row)
+		}
+	}
+}
+
+func TestE3SpaceLinear(t *testing.T) {
+	tabs := checkTables(t, "E3")
+	for _, row := range tabs[0].Rows {
+		if row[4] == "" {
+			t.Fatalf("E3 missing bits/n: %v", row)
+		}
+	}
+}
+
+func TestE4WithinBounds(t *testing.T) {
+	tabs := checkTables(t, "E4")
+	for _, row := range tabs[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("E4 row outside Lemma 6 bound: %v", row)
+		}
+	}
+}
+
+func TestE5AllNamed(t *testing.T) {
+	tabs := checkTables(t, "E5")
+	for _, row := range tabs[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("E5 row not all named: %v", row)
+		}
+	}
+}
+
+func TestE6WithinBounds(t *testing.T) {
+	tabs := checkTables(t, "E6")
+	for _, row := range tabs[0].Rows {
+		ell, gamma := row[0], row[1]
+		// The paper's literal gamma=1 constant misses its own l=2 bound
+		// at finite n (documented finding); l=1 and the gamma=2 rows
+		// must be within bound.
+		if ell == "1" || gamma == "2" {
+			if row[len(row)-1] != "true" {
+				t.Fatalf("E6 row outside Lemma 8 bound: %v", row)
+			}
+		}
+	}
+}
+
+func TestE7AllNamed(t *testing.T) {
+	tabs := checkTables(t, "E7")
+	for _, row := range tabs[0].Rows {
+		if row[8] != "true" {
+			t.Fatalf("E7 row not all named: %v", row)
+		}
+	}
+}
+
+func TestE8ProducesFits(t *testing.T) {
+	tabs := checkTables(t, "E8")
+	if len(tabs) != 2 {
+		t.Fatalf("E8 tables = %d", len(tabs))
+	}
+	if len(tabs[1].Rows) != 5 {
+		t.Fatalf("E8 fit rows = %d", len(tabs[1].Rows))
+	}
+}
+
+func TestE9OverheadAboveOne(t *testing.T) {
+	tabs := checkTables(t, "E9")
+	for _, row := range tabs[0].Rows {
+		if row[3] == "" || row[3] == "0" {
+			t.Fatalf("E9 missing overhead factor: %v", row)
+		}
+	}
+}
+
+func TestE10AllPoliciesCorrect(t *testing.T) {
+	tabs := checkTables(t, "E10")
+	if len(tabs) != 2 {
+		t.Fatalf("E10 tables = %d", len(tabs))
+	}
+	for _, row := range tabs[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("E10 row failed uniqueness: %v", row)
+		}
+	}
+}
+
+func TestE11NoViolations(t *testing.T) {
+	tabs := checkTables(t, "E11")
+	for _, row := range tabs[0].Rows {
+		if row[4] != "0" {
+			t.Fatalf("E11 violations: %v", row)
+		}
+		if row[7] != "0" {
+			t.Fatalf("E11 unresolved: %v", row)
+		}
+	}
+}
+
+func TestE13AdaptiveWithinLimits(t *testing.T) {
+	tabs := checkTables(t, "E13")
+	for _, row := range tabs[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("E13 row not all named: %v", row)
+		}
+		maxName, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("bad max-name cell %q", row[1])
+		}
+		limit, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad limit cell %q", row[2])
+		}
+		if maxName >= limit {
+			t.Fatalf("E13 adaptive name limit violated: %v", row)
+		}
+	}
+}
+
+func TestE12ShowsGeometryContrast(t *testing.T) {
+	tabs := checkTables(t, "E12")
+	// Paper-literal rows must have materially higher fallback fractions
+	// than corrected rows at the same n.
+	byN := map[string]map[string]float64{}
+	for _, row := range tabs[0].Rows {
+		n, kind := row[0], row[1]
+		fb, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad fallback cell %q: %v", row[4], err)
+		}
+		if byN[n] == nil {
+			byN[n] = map[string]float64{}
+		}
+		byN[n][kind] = fb
+	}
+	for n, kinds := range byN {
+		if kinds["corrected"]+0.25 >= kinds["paper-literal"] {
+			t.Fatalf("n=%s: corrected fallback %.3f not clearly below literal %.3f",
+				n, kinds["corrected"], kinds["paper-literal"])
+		}
+	}
+}
+
+func TestE14SimNativeAgree(t *testing.T) {
+	tabs := checkTables(t, "E14")
+	for _, row := range tabs[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("E14 row not all named: %v", row)
+		}
+		ratio, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q: %v", row[5], err)
+		}
+		// Same magnitude: native p50 within 4x of simulated p50 either way.
+		if ratio < 0.25 || ratio > 4 {
+			t.Fatalf("E14 sim/native diverge: %v", row)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package metrics aggregates per-process measurements into the statistics
+// the experiment harness reports: step-count summaries, survivor counts,
+// and least-squares fits of measured step complexity against the
+// asymptotic shapes the paper claims (log n, (log log n)^ℓ, ...).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics of a sample of int64 measurements.
+type Summary struct {
+	Count int
+	Min   int64
+	Max   int64
+	Mean  float64
+	P50   int64
+	P90   int64
+	P99   int64
+}
+
+// Summarize computes order statistics. An empty sample yields a zero
+// Summary.
+func Summarize(samples []int64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  float64(sum) / float64(len(sorted)),
+		P50:   quantile(sorted, 0.50),
+		P90:   quantile(sorted, 0.90),
+		P99:   quantile(sorted, 0.99),
+	}
+}
+
+// quantile returns the nearest-rank q-quantile of a sorted sample.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean)
+}
+
+// Fit is an ordinary-least-squares fit y ≈ A + B·x with its coefficient
+// of determination.
+type Fit struct {
+	A, B float64
+	R2   float64
+}
+
+// FitLinear fits y against x by least squares. It needs at least two
+// points with distinct x; otherwise it returns a zero Fit.
+func FitLinear(x, y []float64) Fit {
+	if len(x) != len(y) || len(x) < 2 {
+		return Fit{}
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	// R².
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := a + b*x[i]
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{A: a, B: b, R2: r2}
+}
+
+// FitAgainst fits measured values y(n) against shape(n): y ≈ A + B·shape(n).
+// It is how EXPERIMENTS.md decides whether step complexity grows like
+// log n versus (log log n)^ℓ: the better-matching shape has R² closer to 1.
+func FitAgainst(ns []int, y []float64, shape func(n int) float64) Fit {
+	x := make([]float64, len(ns))
+	for i, n := range ns {
+		x[i] = shape(n)
+	}
+	return FitLinear(x, y)
+}
+
+// Shapes used by the experiment reports.
+var (
+	// ShapeLog is log₂ n.
+	ShapeLog = func(n int) float64 { return math.Log2(float64(n)) }
+	// ShapeLogLog is log₂ log₂ n.
+	ShapeLogLog = func(n int) float64 { return math.Log2(math.Log2(float64(n))) }
+	// ShapeLinear is n.
+	ShapeLinear = func(n int) float64 { return float64(n) }
+	// ShapeLog2Sq is (log₂ n)².
+	ShapeLog2Sq = func(n int) float64 { l := math.Log2(float64(n)); return l * l }
+)
+
+// ShapeLogLogPow returns n ↦ (log₂ log₂ n)^ℓ.
+func ShapeLogLogPow(ell int) func(n int) float64 {
+	return func(n int) float64 {
+		return math.Pow(math.Log2(math.Log2(float64(n))), float64(ell))
+	}
+}

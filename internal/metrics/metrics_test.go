@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]int64{5, 1, 9, 3, 7})
+	if s.Count != 5 || s.Min != 1 || s.Max != 9 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.P50 != 5 {
+		t.Fatalf("p50 = %d, want 5", s.P50)
+	}
+	if math.Abs(s.Mean-5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Max != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []int64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	samples := make([]int64, 100)
+	for i := range samples {
+		samples[i] = int64(i + 1) // 1..100
+	}
+	s := Summarize(samples)
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Fatalf("quantiles %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]int64{1, 2, 3})
+	if !strings.Contains(s.String(), "p50=2") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 3 + 2x
+	f := FitLinear(x, y)
+	if math.Abs(f.A-3) > 1e-9 || math.Abs(f.B-2) > 1e-9 {
+		t.Fatalf("fit %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-9 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if f := FitLinear([]float64{1}, []float64{2}); f.B != 0 {
+		t.Fatalf("single point fit %+v", f)
+	}
+	if f := FitLinear([]float64{2, 2}, []float64{1, 3}); f.B != 0 {
+		t.Fatalf("vertical fit %+v", f)
+	}
+	if f := FitLinear([]float64{1, 2}, []float64{3}); f.B != 0 {
+		t.Fatalf("mismatched lengths %+v", f)
+	}
+}
+
+func TestFitAgainstPrefersTrueShape(t *testing.T) {
+	// Synthesize y = 4·log2(n) + noiseless; the log fit must beat the
+	// linear fit on R² and recover B ≈ 4.
+	ns := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	y := make([]float64, len(ns))
+	for i, n := range ns {
+		y[i] = 4 * math.Log2(float64(n))
+	}
+	logFit := FitAgainst(ns, y, ShapeLog)
+	linFit := FitAgainst(ns, y, ShapeLinear)
+	if math.Abs(logFit.B-4) > 1e-9 || logFit.R2 < 0.999999 {
+		t.Fatalf("log fit %+v", logFit)
+	}
+	if linFit.R2 >= logFit.R2 {
+		t.Fatalf("linear fit R2 %v should lose to log fit %v", linFit.R2, logFit.R2)
+	}
+}
+
+func TestShapes(t *testing.T) {
+	if ShapeLog(1024) != 10 {
+		t.Fatal("ShapeLog")
+	}
+	if ShapeLogLog(1<<16) != 4 {
+		t.Fatal("ShapeLogLog")
+	}
+	if ShapeLinear(7) != 7 {
+		t.Fatal("ShapeLinear")
+	}
+	if ShapeLog2Sq(1024) != 100 {
+		t.Fatal("ShapeLog2Sq")
+	}
+	if ShapeLogLogPow(2)(1<<16) != 16 {
+		t.Fatal("ShapeLogLogPow")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "n", "steps", "bound")
+	tab.AddRow(1024, int64(17), 10.0)
+	tab.AddRow(65536, int64(23), 16.0)
+	out := tab.Render()
+	if !strings.Contains(out, "## demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "65536") || !strings.Contains(out, "23") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNote(t *testing.T) {
+	tab := NewTable("x", "a")
+	tab.Note = "claim: y <= z"
+	if !strings.Contains(tab.Render(), "claim: y <= z") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow("plain", `with"quote`)
+	tab.AddRow("x,y", 3)
+	csv := tab.CSV()
+	want := "a,b\nplain,\"with\"\"quote\"\n\"x,y\",3\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tab := NewTable("f", "v")
+	tab.AddRow(0.0)
+	tab.AddRow(1234.5678)
+	tab.AddRow(12.345)
+	tab.AddRow(0.123456)
+	tab.AddRow(0.0001234)
+	out := tab.CSV()
+	for _, want := range []string{"0\n", "1235\n", "12.3\n", "0.123\n", "1.23e-04\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

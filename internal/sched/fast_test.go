@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"shmrename/internal/shm"
+)
+
+func TestFastFIFODeterministic(t *testing.T) {
+	run := func() []Result {
+		space := shm.NewNameSpace("names", 128)
+		return Run(Config{N: 96, Seed: 5, Fast: FastFIFO, Body: probeBody(space)})
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("FastFIFO not deterministic")
+	}
+}
+
+func TestFastRandomDeterministic(t *testing.T) {
+	run := func(seed uint64) []Result {
+		space := shm.NewNameSpace("names", 128)
+		return Run(Config{N: 96, Seed: seed, Fast: FastRandom, Body: probeBody(space)})
+	}
+	if !reflect.DeepEqual(run(9), run(9)) {
+		t.Fatal("FastRandom not deterministic for equal seeds")
+	}
+	if reflect.DeepEqual(run(9), run(10)) {
+		t.Fatal("FastRandom identical across seeds (suspicious)")
+	}
+}
+
+func TestFastModesRenameCorrectly(t *testing.T) {
+	for _, mode := range []FastMode{FastFIFO, FastRandom} {
+		space := shm.NewNameSpace("names", 256)
+		res := Run(Config{N: 200, Seed: 3, Fast: mode, Body: probeBody(space)})
+		if got := CountStatus(res, Named); got != 200 {
+			t.Fatalf("mode %d: %d named", mode, got)
+		}
+		if err := VerifyUnique(res, 256); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+	}
+}
+
+func TestFastFIFOIsFair(t *testing.T) {
+	// Fixed-length bodies finish with identical step counts under FIFO.
+	space := shm.NewNameSpace("names", 4)
+	body := func(p *shm.Proc) int {
+		for i := 0; i < 7; i++ {
+			space.Claimed(p, i%4)
+		}
+		return p.ID()
+	}
+	res := Run(Config{N: 16, Seed: 1, Fast: FastFIFO, Body: body})
+	for _, r := range res {
+		if r.Steps != 7 {
+			t.Fatalf("pid %d took %d steps under FIFO", r.PID, r.Steps)
+		}
+	}
+}
+
+func TestFastModeWithAfterStep(t *testing.T) {
+	space := shm.NewNameSpace("names", 8)
+	ticks := 0
+	body := func(p *shm.Proc) int {
+		for i := 0; i < 4; i++ {
+			space.Claimed(p, i)
+		}
+		return p.ID()
+	}
+	Run(Config{N: 4, Seed: 1, Fast: FastFIFO, Body: body, AfterStep: func() { ticks++ }})
+	if ticks != 16 {
+		t.Fatalf("AfterStep ran %d times, want 16", ticks)
+	}
+}
+
+func TestFastModeIgnoredWhenPolicySet(t *testing.T) {
+	// An explicit policy takes precedence; the run must still work.
+	space := shm.NewNameSpace("names", 64)
+	res := Run(Config{
+		N: 32, Seed: 2, Fast: FastFIFO, Policy: Random(),
+		Body: probeBody(space),
+	})
+	if got := CountStatus(res, Named); got != 32 {
+		t.Fatalf("%d named", got)
+	}
+}
+
+func TestFastFIFOQueueCompaction(t *testing.T) {
+	// Enough grants to trigger the head-compaction path (head >= 1024).
+	space := shm.NewNameSpace("names", 4)
+	body := func(p *shm.Proc) int {
+		for i := 0; i < 300; i++ {
+			space.Claimed(p, i%4)
+		}
+		return p.ID()
+	}
+	res := Run(Config{N: 8, Seed: 1, Fast: FastFIFO, Body: body})
+	for _, r := range res {
+		if r.Status != Named || r.Steps != 300 {
+			t.Fatalf("unexpected result %+v", r)
+		}
+	}
+}
+
+func TestFastRandomStepLimit(t *testing.T) {
+	space := shm.NewNameSpace("names", 1)
+	body := func(p *shm.Proc) int {
+		for {
+			space.Claimed(p, 0)
+		}
+	}
+	res := Run(Config{N: 3, Seed: 1, Fast: FastRandom, Body: body, StepLimit: 25})
+	for _, r := range res {
+		if r.Status != Limited {
+			t.Fatalf("pid %d status %v", r.PID, r.Status)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"fmt"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+// roundRobin grants processes in cyclic PID order. It is the "fair"
+// reference schedule: every process makes progress at the same rate.
+type roundRobin struct {
+	last int
+}
+
+// RoundRobin returns a fair cyclic scheduler. It is the default policy.
+func RoundRobin() Policy { return &roundRobin{last: -1} }
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Next(w World, pending []Request, r *prng.Rand) Decision {
+	// Grant the smallest PID strictly greater than the last granted one,
+	// wrapping around. pending is sorted by PID.
+	for i, req := range pending {
+		if req.PID > p.last {
+			p.last = req.PID
+			return Decision{Index: i}
+		}
+	}
+	p.last = pending[0].PID
+	return Decision{Index: 0}
+}
+
+// random grants a uniformly random pending process each time.
+type random struct{}
+
+// Random returns the uniformly random scheduler: an oblivious adversary
+// that models an unbiased asynchronous environment.
+func Random() Policy { return random{} }
+
+func (random) Name() string { return "random" }
+
+func (random) Next(w World, pending []Request, r *prng.Rand) Decision {
+	return Decision{Index: r.Intn(len(pending))}
+}
+
+// collider is an adaptive adversary that maximizes wasted work: it
+// preferentially grants TAS operations whose target is already set (the
+// step is then guaranteed to fail), and otherwise grants operations from
+// the most contended target so that all but one of the contenders lose.
+type collider struct{}
+
+// Collider returns the contention-seeking adaptive adversary. It uses its
+// full visibility of pending targets and shared state (§II.A: the
+// adversary sees all process state including coin-flip outcomes).
+func Collider() Policy { return collider{} }
+
+func (collider) Name() string { return "collider" }
+
+func (collider) Next(w World, pending []Request, r *prng.Rand) Decision {
+	// 1. A TAS that must fail is the most damaging step to grant.
+	for i, req := range pending {
+		if req.Op.Kind == shm.OpTAS && w.Taken(req.Op) {
+			return Decision{Index: i}
+		}
+	}
+	// 2. Otherwise schedule the largest group of colliding TAS targets,
+	// lowest PID first; the first grant makes the rest doomed.
+	type key struct {
+		space string
+		index int
+	}
+	counts := make(map[key]int)
+	for _, req := range pending {
+		if req.Op.Kind == shm.OpTAS {
+			counts[key{req.Op.Space, req.Op.Index}]++
+		}
+	}
+	bestIdx, bestCount := 0, 0
+	for i, req := range pending {
+		if req.Op.Kind != shm.OpTAS {
+			continue
+		}
+		if c := counts[key{req.Op.Space, req.Op.Index}]; c > bestCount {
+			bestCount, bestIdx = c, i
+		}
+	}
+	return Decision{Index: bestIdx}
+}
+
+// starver delays a set of victim processes as long as possible: victims are
+// granted steps only when no non-victim is pending. For renaming this is
+// the adversary that forces victims to search a nearly full name space.
+type starver struct {
+	victims map[int]bool
+}
+
+// Starve returns an adversary that starves the given victim PIDs until all
+// other processes have finished or are themselves parked behind victims.
+func Starve(victims ...int) Policy {
+	m := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		m[v] = true
+	}
+	return &starver{victims: m}
+}
+
+func (s *starver) Name() string { return fmt.Sprintf("starve(%d victims)", len(s.victims)) }
+
+func (s *starver) Next(w World, pending []Request, r *prng.Rand) Decision {
+	for i, req := range pending {
+		if !s.victims[req.PID] {
+			return Decision{Index: i}
+		}
+	}
+	// Only victims remain; grant the lowest PID.
+	return Decision{Index: 0}
+}
+
+// crasher wraps an inner policy and crashes selected processes the first
+// time they are chosen at or beyond their scheduled step count. Crash
+// schedules are fixed up-front from the seed, making runs reproducible.
+type crasher struct {
+	inner   Policy
+	crashAt map[int]int64 // pid -> crash at/after this step count
+	done    map[int]bool
+}
+
+// WithCrashes wraps policy so that each PID in crashAt is crashed the first
+// time the inner policy selects it once it has taken at least the given
+// number of steps. A crashed process performs no further steps, matching
+// the crash-failure model of §II.A.
+func WithCrashes(policy Policy, crashAt map[int]int64) Policy {
+	m := make(map[int]int64, len(crashAt))
+	for pid, s := range crashAt {
+		m[pid] = s
+	}
+	return &crasher{inner: policy, crashAt: m, done: make(map[int]bool)}
+}
+
+// PlanCrashes builds a crash schedule for WithCrashes: it selects
+// floor(frac*n) distinct victim PIDs and, for each, a crash step uniform in
+// [0, maxStep), all deterministically from r.
+func PlanCrashes(n int, frac float64, maxStep int64, r *prng.Rand) map[int]int64 {
+	k := int(frac * float64(n))
+	if k > n {
+		k = n
+	}
+	plan := make(map[int]int64, k)
+	perm := r.Perm(n)
+	for i := 0; i < k; i++ {
+		step := int64(0)
+		if maxStep > 0 {
+			step = int64(r.Intn(int(maxStep)))
+		}
+		plan[perm[i]] = step
+	}
+	return plan
+}
+
+func (c *crasher) Name() string {
+	return fmt.Sprintf("%s+crash(%d)", c.inner.Name(), len(c.crashAt))
+}
+
+func (c *crasher) Next(w World, pending []Request, r *prng.Rand) Decision {
+	dec := c.inner.Next(w, pending, r)
+	if dec.Crash {
+		return dec
+	}
+	req := pending[dec.Index]
+	if at, scheduled := c.crashAt[req.PID]; scheduled && !c.done[req.PID] && req.Steps >= at {
+		c.done[req.PID] = true
+		dec.Crash = true
+	}
+	return dec
+}

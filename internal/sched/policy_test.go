@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+func TestRoundRobinWrapsAround(t *testing.T) {
+	p := RoundRobin()
+	pending := []Request{{PID: 2}, {PID: 5}, {PID: 9}}
+	r := prng.New(1)
+	w := worldView{}
+	order := []int{}
+	for i := 0; i < 6; i++ {
+		d := p.Next(w, pending, r)
+		order = append(order, pending[d.Index].PID)
+	}
+	want := []int{2, 5, 9, 2, 5, 9}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRandomPolicyCoversAllPIDs(t *testing.T) {
+	p := Random()
+	pending := []Request{{PID: 0}, {PID: 1}, {PID: 2}, {PID: 3}}
+	r := prng.New(7)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		d := p.Next(worldView{}, pending, r)
+		seen[pending[d.Index].PID] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("random policy granted only %v", seen)
+	}
+}
+
+type fixedWorld map[shm.Op]bool
+
+func (w fixedWorld) Taken(op shm.Op) bool { return w[op] }
+
+func TestColliderGroupsContention(t *testing.T) {
+	// No doomed op pending: the collider must pick from the largest
+	// group of colliding TAS targets.
+	p := Collider()
+	op := func(i int) shm.Op { return shm.Op{Kind: shm.OpTAS, Space: "s", Index: i} }
+	pending := []Request{
+		{PID: 0, Op: op(3)},
+		{PID: 1, Op: op(7)},
+		{PID: 2, Op: op(7)},
+		{PID: 3, Op: op(7)},
+		{PID: 4, Op: op(5)},
+	}
+	d := p.Next(fixedWorld{}, pending, prng.New(1))
+	if got := pending[d.Index].Op.Index; got != 7 {
+		t.Fatalf("collider picked target %d, want the contended 7", got)
+	}
+}
+
+func TestColliderPrefersReadsLast(t *testing.T) {
+	// With only reads pending, the collider still returns a valid index.
+	p := Collider()
+	pending := []Request{
+		{PID: 0, Op: shm.Op{Kind: shm.OpRead, Space: "s", Index: 1}},
+		{PID: 1, Op: shm.Op{Kind: shm.OpRead, Space: "s", Index: 2}},
+	}
+	d := p.Next(fixedWorld{}, pending, prng.New(1))
+	if d.Index < 0 || d.Index >= len(pending) {
+		t.Fatalf("collider returned index %d", d.Index)
+	}
+}
+
+func TestStarveGrantsVictimWhenAlone(t *testing.T) {
+	p := Starve(4)
+	pending := []Request{{PID: 4}}
+	d := p.Next(worldView{}, pending, prng.New(1))
+	if d.Index != 0 || d.Crash {
+		t.Fatalf("lone victim not granted: %+v", d)
+	}
+}
+
+func TestCrasherPassesThroughUnplannedPIDs(t *testing.T) {
+	p := WithCrashes(RoundRobin(), map[int]int64{99: 0})
+	pending := []Request{{PID: 1, Steps: 10}}
+	d := p.Next(worldView{}, pending, prng.New(1))
+	if d.Crash {
+		t.Fatal("crashed an unplanned pid")
+	}
+}
+
+func TestCrasherCrashesOnlyOnce(t *testing.T) {
+	p := WithCrashes(RoundRobin(), map[int]int64{1: 0})
+	pending := []Request{{PID: 1, Steps: 5}}
+	d1 := p.Next(worldView{}, pending, prng.New(1))
+	if !d1.Crash {
+		t.Fatal("scheduled crash not applied")
+	}
+	// The same PID appearing again (hypothetically) is not re-crashed.
+	d2 := p.Next(worldView{}, pending, prng.New(1))
+	if d2.Crash {
+		t.Fatal("pid crashed twice")
+	}
+}
+
+func TestPlanCrashesZeroFraction(t *testing.T) {
+	if got := PlanCrashes(100, 0, 10, prng.New(1)); len(got) != 0 {
+		t.Fatalf("zero fraction planned %d crashes", len(got))
+	}
+}
+
+func TestPlanCrashesFullFraction(t *testing.T) {
+	plan := PlanCrashes(10, 1.0, 1, prng.New(1))
+	if len(plan) != 10 {
+		t.Fatalf("full fraction planned %d", len(plan))
+	}
+	for pid, at := range plan {
+		if at != 0 {
+			t.Fatalf("pid %d crash step %d, want 0 with maxStep=1", pid, at)
+		}
+	}
+}
+
+func TestRunPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 0, Body: func(p *shm.Proc) int { return 0 }},
+		{N: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bad config accepted: %+v", cfg)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestRunPanicsOnPolicyOutOfRange(t *testing.T) {
+	space := shm.NewNameSpace("names", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range policy decision accepted")
+		}
+	}()
+	Run(Config{N: 2, Seed: 1, Policy: badPolicy{}, Body: probeBody(space)})
+}
+
+type badPolicy struct{}
+
+func (badPolicy) Name() string { return "bad" }
+func (badPolicy) Next(w World, pending []Request, r *prng.Rand) Decision {
+	return Decision{Index: 99}
+}

@@ -1,0 +1,455 @@
+// Package sched simulates the asynchronous shared-memory model of §II.A of
+// the paper and provides the adaptive adversary that controls it.
+//
+// In simulated mode every process runs as a goroutine, but each of its
+// shared-memory operations first blocks on a scheduler gate. The scheduler
+// waits until every live process is parked on its next operation, hands the
+// full pending set (operation kinds and targets, which embody the process
+// coin flips) to a Policy — the adversary — and grants exactly one
+// operation. The adversary may instead crash the process, after which it
+// takes no further steps. Executions are therefore deterministic given
+// (seed, policy), and the adversary enjoys the full adaptivity the model
+// grants: it sees the state of all processes before every scheduling
+// decision.
+//
+// The package also provides a native runner that executes the same process
+// bodies on real goroutines with no gating, for wall-clock benchmarks.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+// Body is a process: it receives its context and returns the name it
+// acquired, or a negative value if it terminated without one.
+type Body func(p *shm.Proc) int
+
+// Status describes how a process ended.
+type Status uint8
+
+// Process outcomes.
+const (
+	// Named: the process terminated holding a name.
+	Named Status = iota
+	// Unnamed: the process terminated without a name (algorithm gave up).
+	Unnamed
+	// Crashed: the adversary crashed the process.
+	Crashed
+	// Limited: the process exceeded its step budget (indicates a bug or a
+	// deliberately tiny budget in failure-injection tests).
+	Limited
+)
+
+// String returns the lower-case status name.
+func (s Status) String() string {
+	switch s {
+	case Named:
+		return "named"
+	case Unnamed:
+		return "unnamed"
+	case Crashed:
+		return "crashed"
+	case Limited:
+		return "limited"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Result is the outcome of one process in one execution.
+type Result struct {
+	PID    int
+	Name   int // acquired name, or -1
+	Steps  int64
+	Status Status
+}
+
+// Request is one pending shared-memory operation as the adversary sees it.
+type Request struct {
+	PID   int
+	Op    shm.Op
+	Steps int64 // steps the process has already taken
+}
+
+// World gives a policy read access to the current shared state, so that an
+// adaptive adversary can, for example, prefer granting operations that are
+// doomed to fail. Probing costs the processes nothing.
+type World interface {
+	// Taken reports whether the TAS object targeted by op is already set.
+	// It returns false when the target's space is not registered.
+	Taken(op shm.Op) bool
+}
+
+// Decision is a policy's choice: grant pending[Index], or crash that
+// process instead of granting it the step.
+type Decision struct {
+	Index int
+	Crash bool
+}
+
+// Policy is the adaptive adversary. Next is called with the pending
+// operations of all parked processes, sorted by PID, and must return a
+// decision about one of them. The policy receives its own deterministic
+// randomness derived from the run seed.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Next chooses the next scheduling decision. pending is non-empty.
+	Next(w World, pending []Request, r *prng.Rand) Decision
+}
+
+// FastMode selects a cheap built-in schedule instead of a Policy for
+// large-n measurements. The adaptive Policy path materializes the full
+// pending set before every grant (O(n log n) per step); the fast modes
+// keep O(1) bookkeeping per grant and remain deterministic.
+type FastMode uint8
+
+// Fast scheduling modes.
+const (
+	// FastOff uses the adaptive Policy path (the default).
+	FastOff FastMode = iota
+	// FastFIFO grants operations in arrival order (processes initially
+	// ordered by PID) — a fair asynchronous schedule equivalent in
+	// spirit to round-robin.
+	FastFIFO
+	// FastRandom grants a uniformly random pending operation each time,
+	// driven by the run seed — the oblivious random adversary.
+	FastRandom
+)
+
+// Config parameterizes a simulated run.
+type Config struct {
+	// N is the number of processes, with PIDs 0..N-1.
+	N int
+	// Seed drives every coin flip of the run: each process gets stream
+	// prng.NewStream(Seed, pid), the policy gets an independent stream.
+	Seed uint64
+	// Policy is the adversary. Defaults to RoundRobin if nil.
+	Policy Policy
+	// Fast selects a built-in O(1) schedule when Policy is nil; ignored
+	// otherwise.
+	Fast FastMode
+	// Body is the process program.
+	Body Body
+	// AfterStep, if non-nil, runs after every granted operation completes.
+	// It models free hardware progress, e.g. the counting-device clock of
+	// §II.C, and costs the processes no steps.
+	AfterStep func()
+	// StepLimit bounds the steps of each process; 0 means the default
+	// safety budget (DefaultStepLimit).
+	StepLimit int64
+	// Spaces registers Probeable structures by label so adaptive policies
+	// can inspect targets. Optional.
+	Spaces map[string]shm.Probeable
+}
+
+// DefaultStepLimit is the per-process safety budget used when Config leaves
+// StepLimit zero. It is far above any bound the algorithms should reach; a
+// process hitting it indicates a non-terminating execution.
+const DefaultStepLimit = 1 << 22
+
+type reqMsg struct {
+	pid   int
+	op    shm.Op
+	steps int64
+	grant chan bool
+}
+
+type doneMsg struct {
+	res Result
+}
+
+type simGate struct {
+	reqCh chan reqMsg
+	grant chan bool
+}
+
+func (g *simGate) Await(p *shm.Proc, op shm.Op) bool {
+	g.reqCh <- reqMsg{pid: p.ID(), op: op, steps: p.Steps(), grant: g.grant}
+	return <-g.grant
+}
+
+type worldView struct {
+	spaces map[string]shm.Probeable
+}
+
+func (w worldView) Taken(op shm.Op) bool {
+	s, ok := w.spaces[op.Space]
+	if !ok {
+		return false
+	}
+	return s.Probe(op.Index)
+}
+
+// Run executes a simulated run and returns one Result per process, sorted
+// by PID. It panics on configuration errors (N <= 0, nil Body).
+func Run(cfg Config) []Result {
+	if cfg.N <= 0 {
+		panic("sched: Run requires N > 0")
+	}
+	if cfg.Body == nil {
+		panic("sched: Run requires a Body")
+	}
+	limit := cfg.StepLimit
+	if limit == 0 {
+		limit = DefaultStepLimit
+	}
+
+	reqCh := make(chan reqMsg)
+	doneCh := make(chan doneMsg)
+
+	for pid := 0; pid < cfg.N; pid++ {
+		gate := &simGate{reqCh: reqCh, grant: make(chan bool)}
+		p := shm.NewProc(pid, prng.NewStream(cfg.Seed, pid), gate, limit)
+		go runProcess(p, cfg.Body, doneCh)
+	}
+
+	if cfg.Policy == nil && cfg.Fast != FastOff {
+		return runFast(cfg, reqCh, doneCh)
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = RoundRobin()
+	}
+
+	policyRand := prng.NewStream(cfg.Seed, -7)
+	world := worldView{spaces: cfg.Spaces}
+	// pending stays sorted by PID; view is its policy-facing mirror,
+	// reused across grants to avoid per-step allocation.
+	pending := make([]reqMsg, 0, cfg.N)
+	view := make([]Request, 0, cfg.N)
+	results := make([]Result, 0, cfg.N)
+	executing := cfg.N // processes currently running between grants
+
+	absorb := func() {
+		select {
+		case m := <-reqCh:
+			i := sort.Search(len(pending), func(i int) bool { return pending[i].pid >= m.pid })
+			pending = append(pending, reqMsg{})
+			copy(pending[i+1:], pending[i:])
+			pending[i] = m
+			executing--
+		case d := <-doneCh:
+			results = append(results, d.res)
+			executing--
+		}
+	}
+
+	for len(results) < cfg.N {
+		// Let every executing process settle: it either parks on its next
+		// operation or finishes. Only then does the adversary decide,
+		// with full knowledge of all pending operations.
+		for executing > 0 {
+			absorb()
+		}
+		if len(results) == cfg.N {
+			break
+		}
+		view = view[:0]
+		for _, m := range pending {
+			view = append(view, Request{PID: m.pid, Op: m.op, Steps: m.steps})
+		}
+		dec := policy.Next(world, view, policyRand)
+		if dec.Index < 0 || dec.Index >= len(view) {
+			panic(fmt.Sprintf("sched: policy %q returned index %d out of range [0,%d)",
+				policy.Name(), dec.Index, len(view)))
+		}
+		chosen := pending[dec.Index]
+		pending = append(pending[:dec.Index], pending[dec.Index+1:]...)
+		executing++
+		chosen.grant <- !dec.Crash
+		if cfg.AfterStep != nil && !dec.Crash {
+			// The granted operation completes before the process either
+			// parks again or finishes; both transitions pass through the
+			// channels above. To keep the hardware hook ordered with the
+			// operation, absorb that one transition first.
+			absorb()
+			cfg.AfterStep()
+		}
+	}
+
+	sort.Slice(results, func(i, j int) bool { return results[i].PID < results[j].PID })
+	return results
+}
+
+// runFast is the O(1)-per-grant scheduling loop used by FastFIFO and
+// FastRandom. The initial batch of requests (whose arrival order is racy)
+// is sorted by PID once; afterwards exactly one process transitions at a
+// time, so the execution is deterministic given the seed.
+func runFast(cfg Config, reqCh chan reqMsg, doneCh chan doneMsg) []Result {
+	var (
+		queue     []reqMsg
+		head      int
+		results   = make([]Result, 0, cfg.N)
+		executing = cfg.N
+		first     = true
+		rng       = prng.NewStream(cfg.Seed, -7)
+	)
+	absorb := func() {
+		select {
+		case m := <-reqCh:
+			queue = append(queue, m)
+			executing--
+		case d := <-doneCh:
+			results = append(results, d.res)
+			executing--
+		}
+	}
+	for len(results) < cfg.N {
+		for executing > 0 {
+			absorb()
+		}
+		if len(results) == cfg.N {
+			break
+		}
+		if first {
+			sort.Slice(queue, func(i, j int) bool { return queue[i].pid < queue[j].pid })
+			first = false
+		}
+		var chosen reqMsg
+		switch cfg.Fast {
+		case FastFIFO:
+			chosen = queue[head]
+			head++
+			if head >= 1024 && head*2 >= len(queue) {
+				queue = append(queue[:0], queue[head:]...)
+				head = 0
+			}
+		case FastRandom:
+			idx := head + rng.Intn(len(queue)-head)
+			chosen = queue[idx]
+			queue[idx] = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		default:
+			panic("sched: unknown fast mode")
+		}
+		executing++
+		chosen.grant <- true
+		if cfg.AfterStep != nil {
+			absorb()
+			cfg.AfterStep()
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].PID < results[j].PID })
+	return results
+}
+
+// runProcess executes body for p, translating the kernel's crash and
+// step-limit panics into results. Any other panic propagates: it is a bug.
+func runProcess(p *shm.Proc, body Body, doneCh chan doneMsg) {
+	res := Result{PID: p.ID(), Name: -1}
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case shm.Crash:
+				res.Status = Crashed
+			case shm.StepLimit:
+				res.Status = Limited
+			default:
+				panic(r)
+			}
+			res.Name = -1
+		}
+		res.Steps = p.Steps()
+		doneCh <- doneMsg{res: res}
+	}()
+	name := body(p)
+	if name >= 0 {
+		res.Name = name
+		res.Status = Named
+	} else {
+		res.Status = Unnamed
+	}
+}
+
+// RunNative executes the same body on real goroutines with no gating and
+// returns per-process results sorted by PID. It is not deterministic (real
+// hardware races decide interleavings); it exists for wall-clock
+// benchmarking and end-to-end sanity on multicore.
+func RunNative(n int, seed uint64, body Body) []Result {
+	if n <= 0 {
+		panic("sched: RunNative requires n > 0")
+	}
+	results := make([]Result, n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			p := shm.NewProc(pid, prng.NewStream(seed, pid), nil, DefaultStepLimit)
+			res := Result{PID: pid, Name: -1}
+			defer func() {
+				if r := recover(); r != nil {
+					switch r.(type) {
+					case shm.Crash:
+						res.Status = Crashed
+					case shm.StepLimit:
+						res.Status = Limited
+					default:
+						panic(r)
+					}
+				}
+				res.Steps = p.Steps()
+				results[pid] = res
+			}()
+			name := body(p)
+			if name >= 0 {
+				res.Name = name
+				res.Status = Named
+			} else {
+				res.Status = Unnamed
+			}
+		}(pid)
+	}
+	wg.Wait()
+	return results
+}
+
+// VerifyUnique checks that the named processes in results hold pairwise
+// distinct names within [0, m). It returns an error describing the first
+// violation, or nil. Post-run verification used by tests and the harness.
+func VerifyUnique(results []Result, m int) error {
+	owner := make(map[int]int, len(results))
+	for _, r := range results {
+		if r.Status != Named {
+			continue
+		}
+		if r.Name < 0 || r.Name >= m {
+			return fmt.Errorf("process %d holds out-of-range name %d (space size %d)", r.PID, r.Name, m)
+		}
+		if prev, dup := owner[r.Name]; dup {
+			return fmt.Errorf("name %d held by both process %d and process %d", r.Name, prev, r.PID)
+		}
+		owner[r.Name] = r.PID
+	}
+	return nil
+}
+
+// MaxSteps returns the step complexity of the execution: the maximum number
+// of steps over all processes (crashed processes included; their partial
+// steps count toward the maximum they reached).
+func MaxSteps(results []Result) int64 {
+	var m int64
+	for _, r := range results {
+		if r.Steps > m {
+			m = r.Steps
+		}
+	}
+	return m
+}
+
+// CountStatus returns how many results carry the given status.
+func CountStatus(results []Result, s Status) int {
+	c := 0
+	for _, r := range results {
+		if r.Status == s {
+			c++
+		}
+	}
+	return c
+}

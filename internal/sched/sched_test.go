@@ -1,0 +1,306 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+// probeBody returns a body in which each process claims random names in
+// space until it wins one, then returns it.
+func probeBody(space *shm.NameSpace) Body {
+	return func(p *shm.Proc) int {
+		for {
+			i := p.Rand().Intn(space.Size())
+			if space.TryClaim(p, i) {
+				return i
+			}
+		}
+	}
+}
+
+func TestRunSimBasicRenaming(t *testing.T) {
+	const n = 64
+	space := shm.NewNameSpace("names", 2*n)
+	res := Run(Config{N: n, Seed: 1, Body: probeBody(space)})
+	if len(res) != n {
+		t.Fatalf("got %d results, want %d", len(res), n)
+	}
+	if got := CountStatus(res, Named); got != n {
+		t.Fatalf("%d named, want %d", got, n)
+	}
+	if err := VerifyUnique(res, 2*n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimDeterministic(t *testing.T) {
+	run := func() []Result {
+		space := shm.NewNameSpace("names", 96)
+		return Run(Config{N: 64, Seed: 42, Policy: Random(), Body: probeBody(space)})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical configs produced different executions")
+	}
+}
+
+func TestRunSimSeedsDiffer(t *testing.T) {
+	run := func(seed uint64) []Result {
+		space := shm.NewNameSpace("names", 96)
+		return Run(Config{N: 64, Seed: seed, Policy: Random(), Body: probeBody(space)})
+	}
+	if reflect.DeepEqual(run(1), run(2)) {
+		t.Fatal("different seeds produced identical executions (suspicious)")
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// Each process performs exactly 5 reads; under round-robin everyone
+	// should finish with exactly 5 steps.
+	space := shm.NewNameSpace("names", 4)
+	body := func(p *shm.Proc) int {
+		for i := 0; i < 5; i++ {
+			space.Claimed(p, i%4)
+		}
+		return p.ID()
+	}
+	res := Run(Config{N: 8, Seed: 3, Policy: RoundRobin(), Body: body})
+	for _, r := range res {
+		if r.Steps != 5 {
+			t.Fatalf("pid %d took %d steps, want 5", r.PID, r.Steps)
+		}
+	}
+}
+
+func TestColliderPrefersDoomedTAS(t *testing.T) {
+	// One register, already set. Pending TAS on it must be granted first
+	// and fail, wasting the victim's step.
+	space := shm.NewNameSpace("reg", 2)
+	// Pre-set register 0 without accounting steps to any process.
+	setup := shm.NewProc(999, prng.New(9), nil, 0)
+	space.TryClaim(setup, 0)
+
+	body := func(p *shm.Proc) int {
+		if p.ID() == 0 {
+			if space.TryClaim(p, 0) { // doomed
+				return 0
+			}
+			return -1
+		}
+		if space.TryClaim(p, 1) {
+			return 1
+		}
+		return -1
+	}
+	res := Run(Config{
+		N: 2, Seed: 5, Policy: Collider(), Body: body,
+		Spaces: map[string]shm.Probeable{"reg": space},
+	})
+	if res[0].Status != Unnamed {
+		t.Fatalf("doomed process status = %v, want unnamed", res[0].Status)
+	}
+	if res[1].Status != Named || res[1].Name != 1 {
+		t.Fatalf("process 1 = %+v, want named 1", res[1])
+	}
+}
+
+func TestStarvePolicyDelaysVictim(t *testing.T) {
+	// n processes probe a tight space of n names. The starved victim runs
+	// last, faces a nearly full space, and on average pays ~n failed
+	// probes where the unstarved processes average ~ln n. Averaged over
+	// seeds the separation is wide; a single run can be lucky.
+	const n, trials = 32, 20
+	var victimSum, otherSum float64
+	for seed := uint64(0); seed < trials; seed++ {
+		space := shm.NewNameSpace("names", n)
+		res := Run(Config{N: n, Seed: seed, Policy: Starve(0), Body: probeBody(space)})
+		if err := VerifyUnique(res, n); err != nil {
+			t.Fatal(err)
+		}
+		if got := CountStatus(res, Named); got != n {
+			t.Fatalf("%d named, want %d", got, n)
+		}
+		victimSum += float64(res[0].Steps)
+		for _, r := range res[1:] {
+			otherSum += float64(r.Steps) / float64(n-1)
+		}
+	}
+	victimMean := victimSum / trials
+	otherMean := otherSum / trials
+	if victimMean < 2*otherMean {
+		t.Fatalf("victim mean %.1f steps vs others mean %.1f; starvation had no bite",
+			victimMean, otherMean)
+	}
+}
+
+func TestWithCrashesCrashesExactlyScheduled(t *testing.T) {
+	const n = 16
+	space := shm.NewNameSpace("names", 4*n)
+	plan := map[int]int64{2: 0, 5: 1, 11: 0}
+	res := Run(Config{
+		N: n, Seed: 13,
+		Policy: WithCrashes(RoundRobin(), plan),
+		Body:   probeBody(space),
+	})
+	for pid := range plan {
+		if res[pid].Status != Crashed {
+			t.Fatalf("pid %d status = %v, want crashed", pid, res[pid].Status)
+		}
+		if res[pid].Name != -1 {
+			t.Fatalf("crashed pid %d holds name %d", pid, res[pid].Name)
+		}
+	}
+	if got := CountStatus(res, Crashed); got != len(plan) {
+		t.Fatalf("%d crashed, want %d", got, len(plan))
+	}
+	if got := CountStatus(res, Named); got != n-len(plan) {
+		t.Fatalf("%d named, want %d", got, n-len(plan))
+	}
+	if err := VerifyUnique(res, 4*n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanCrashesDeterministicAndSized(t *testing.T) {
+	r1 := prng.New(77)
+	r2 := prng.New(77)
+	p1 := PlanCrashes(100, 0.25, 10, r1)
+	p2 := PlanCrashes(100, 0.25, 10, r2)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("PlanCrashes not deterministic")
+	}
+	if len(p1) != 25 {
+		t.Fatalf("planned %d crashes, want 25", len(p1))
+	}
+	for pid, step := range p1 {
+		if pid < 0 || pid >= 100 || step < 0 || step >= 10 {
+			t.Fatalf("invalid crash entry %d -> %d", pid, step)
+		}
+	}
+}
+
+func TestAfterStepRunsPerGrantedOp(t *testing.T) {
+	space := shm.NewNameSpace("names", 8)
+	ticks := 0
+	body := func(p *shm.Proc) int {
+		for i := 0; i < 3; i++ {
+			space.Claimed(p, i)
+		}
+		return p.ID()
+	}
+	Run(Config{N: 4, Seed: 1, Body: body, AfterStep: func() { ticks++ }})
+	if ticks != 12 {
+		t.Fatalf("AfterStep ran %d times, want 12", ticks)
+	}
+}
+
+func TestStepLimitYieldsLimitedStatus(t *testing.T) {
+	space := shm.NewNameSpace("names", 1)
+	body := func(p *shm.Proc) int {
+		for {
+			space.Claimed(p, 0) // never terminates on its own
+		}
+	}
+	res := Run(Config{N: 2, Seed: 1, Body: body, StepLimit: 50})
+	for _, r := range res {
+		if r.Status != Limited {
+			t.Fatalf("pid %d status = %v, want limited", r.PID, r.Status)
+		}
+		if r.Steps != 51 { // the 51st attempt trips the limit
+			t.Fatalf("pid %d steps = %d, want 51", r.PID, r.Steps)
+		}
+	}
+}
+
+func TestRunNativeRenames(t *testing.T) {
+	const n = 128
+	space := shm.NewNameSpace("names", 2*n)
+	res := RunNative(n, 99, probeBody(space))
+	if got := CountStatus(res, Named); got != n {
+		t.Fatalf("%d named, want %d", got, n)
+	}
+	if err := VerifyUnique(res, 2*n); err != nil {
+		t.Fatal(err)
+	}
+	for pid, r := range res {
+		if r.PID != pid {
+			t.Fatalf("results out of order: index %d has PID %d", pid, r.PID)
+		}
+	}
+}
+
+func TestVerifyUniqueDetectsViolations(t *testing.T) {
+	dup := []Result{
+		{PID: 0, Name: 3, Status: Named},
+		{PID: 1, Name: 3, Status: Named},
+	}
+	if err := VerifyUnique(dup, 10); err == nil {
+		t.Fatal("duplicate names not detected")
+	}
+	oob := []Result{{PID: 0, Name: 10, Status: Named}}
+	if err := VerifyUnique(oob, 10); err == nil {
+		t.Fatal("out-of-range name not detected")
+	}
+	ok := []Result{
+		{PID: 0, Name: 1, Status: Named},
+		{PID: 1, Name: -1, Status: Crashed},
+		{PID: 2, Name: 2, Status: Named},
+	}
+	if err := VerifyUnique(ok, 10); err != nil {
+		t.Fatalf("valid results rejected: %v", err)
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	rs := []Result{{Steps: 3}, {Steps: 17}, {Steps: 5}}
+	if got := MaxSteps(rs); got != 17 {
+		t.Fatalf("MaxSteps = %d, want 17", got)
+	}
+	if got := MaxSteps(nil); got != 0 {
+		t.Fatalf("MaxSteps(nil) = %d, want 0", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		Named: "named", Unnamed: "unnamed", Crashed: "crashed", Limited: "limited",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{RoundRobin(), Random(), Collider(), Starve(1, 2)} {
+		if p.Name() == "" {
+			t.Fatalf("policy %T has empty name", p)
+		}
+	}
+	w := WithCrashes(Random(), map[int]int64{1: 0})
+	if w.Name() == "" {
+		t.Fatal("crasher has empty name")
+	}
+}
+
+func TestAllPoliciesCompleteTightRenaming(t *testing.T) {
+	// Every policy must let every process finish on a loose space
+	// (no livelock from the scheduler itself).
+	for _, policy := range []Policy{RoundRobin(), Random(), Collider(), Starve(0, 1, 2)} {
+		space := shm.NewNameSpace("names", 128)
+		res := Run(Config{
+			N: 64, Seed: 21, Policy: policy, Body: probeBody(space),
+			Spaces: map[string]shm.Probeable{"names": space},
+		})
+		if got := CountStatus(res, Named); got != 64 {
+			t.Fatalf("policy %s: %d named, want 64", policy.Name(), got)
+		}
+		if err := VerifyUnique(res, 128); err != nil {
+			t.Fatalf("policy %s: %v", policy.Name(), err)
+		}
+	}
+}

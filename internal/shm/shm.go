@@ -1,0 +1,226 @@
+// Package shm is the shared-memory kernel of the repository.
+//
+// It defines the per-process execution context (Proc) through which every
+// shared-memory operation flows, the operation descriptors the adaptive
+// adversary gets to see, and the hardware test-and-set name space used by
+// the renaming algorithms of the paper.
+//
+// Two execution modes share all algorithm and substrate code:
+//
+//   - Simulated mode: each Proc carries a Gate; every operation first blocks
+//     until the scheduler (package sched) grants the step. Exactly one
+//     operation is in flight at any time, so executions are deterministic
+//     and the scheduling policy is a fully adaptive adversary in the sense
+//     of §II.A of the paper.
+//   - Native mode: the Gate is nil and operations hit sync/atomic directly
+//     on real cores, for wall-clock benchmarks.
+//
+// Step accounting: one call to Proc.Step is one access to shared memory,
+// matching the paper's definition of step complexity (the maximum number of
+// shared-memory accesses performed by any process).
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"shmrename/internal/prng"
+)
+
+// OpKind classifies a shared-memory operation for the adversary's benefit.
+type OpKind uint8
+
+// Operation kinds. The adversary sees the kind and the target of every
+// pending operation, which (together with the process coin flips already
+// embodied in the target) gives it the full visibility the model grants.
+const (
+	// OpTAS is a test-and-set on a register or TAS bit.
+	OpTAS OpKind = iota
+	// OpRead is a read of a shared register (e.g. a device's out_reg).
+	OpRead
+)
+
+// String returns a short human-readable name for the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpTAS:
+		return "tas"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op describes one shared-memory operation: which structure is accessed
+// (Space, a label chosen by the structure) and the address within it.
+type Op struct {
+	Kind  OpKind
+	Space string
+	Index int
+}
+
+// String formats the operation as kind@space[index].
+func (o Op) String() string {
+	return fmt.Sprintf("%s@%s[%d]", o.Kind, o.Space, o.Index)
+}
+
+// Gate mediates scheduling in simulated mode. Await blocks until the
+// scheduler grants the process its next step and reports false if the
+// process has been crashed by the adversary instead.
+type Gate interface {
+	Await(p *Proc, op Op) bool
+}
+
+// Crash is the panic value used to unwind a process that the adversary
+// crashed mid-algorithm. It never escapes the runners in package sched.
+type Crash struct{ PID int }
+
+// StepLimit is the panic value used to unwind a process that exceeded its
+// per-process step budget. It exists as a safety net so that a buggy
+// non-terminating algorithm fails loudly instead of hanging the simulator.
+type StepLimit struct {
+	PID   int
+	Limit int64
+}
+
+// Proc is the execution context of one process. All shared-memory
+// substrates take a *Proc on every operation so that steps are counted and,
+// in simulated mode, scheduled.
+type Proc struct {
+	id    int
+	rng   *prng.Rand
+	gate  Gate
+	steps int64
+	limit int64 // 0 means unlimited
+}
+
+// NewProc returns a process context. gate may be nil (native mode).
+// limit, if positive, bounds the number of steps the process may take
+// before it is unwound with a StepLimit panic.
+func NewProc(id int, rng *prng.Rand, gate Gate, limit int64) *Proc {
+	return &Proc{id: id, rng: rng, gate: gate, limit: limit}
+}
+
+// ID returns the process identifier (its original name, in renaming terms).
+func (p *Proc) ID() int { return p.id }
+
+// Rand returns the process's private randomness. In the adaptive-adversary
+// model the adversary may observe these coins; concretely it observes every
+// operation target, which embodies them.
+func (p *Proc) Rand() *prng.Rand { return p.rng }
+
+// Steps returns the number of shared-memory accesses performed so far.
+func (p *Proc) Steps() int64 { return p.steps }
+
+// Step accounts for (and, in simulated mode, schedules) one shared-memory
+// access. It must be called by a substrate immediately before executing the
+// access. It panics with Crash if the adversary crashes the process and
+// with StepLimit if the step budget is exhausted; both panics are recovered
+// by the runners in package sched.
+func (p *Proc) Step(op Op) {
+	p.steps++
+	if p.limit > 0 && p.steps > p.limit {
+		panic(StepLimit{PID: p.id, Limit: p.limit})
+	}
+	if p.gate != nil {
+		if !p.gate.Await(p, op) {
+			panic(Crash{PID: p.id})
+		}
+	}
+}
+
+// Probeable lets an adaptive adversary inspect, without spending process
+// steps, whether the addressed TAS object is already set. Structures
+// register themselves with the simulator under their space label.
+type Probeable interface {
+	// Probe reports whether the TAS object at index i is currently set.
+	Probe(i int) bool
+}
+
+// ClaimSpace is the abstract array of TAS registers holding names that the
+// loose-renaming algorithms of §IV operate on. Implementations include the
+// hardware NameSpace below and the read/write-register construction in
+// package tas.
+type ClaimSpace interface {
+	// Size returns the number of names in the space.
+	Size() int
+	// TryClaim performs a test-and-set on name i on behalf of p and
+	// reports whether p won the name. It costs at least one step.
+	TryClaim(p *Proc, i int) bool
+	// Claimed reads whether name i is already taken. It costs one step.
+	Claimed(p *Proc, i int) bool
+	// CountClaimed returns the number of taken names. It is a diagnostic
+	// for tests and metrics, not a process step.
+	CountClaimed() int
+}
+
+// LabeledProbeable is a probeable structure that knows the operation-space
+// label under which its operations appear, so runners can register it for
+// adaptive adversaries automatically.
+type LabeledProbeable interface {
+	Probeable
+	Label() string
+}
+
+// NameSpace is a hardware test-and-set name space: one single-writer TAS
+// register per name, implemented with an atomic CAS, as assumed by the
+// model of §IV ("registers ... on which they can perform TAS operations
+// implemented in hardware"). A TryClaim or Claimed costs exactly one step.
+type NameSpace struct {
+	label string
+	bits  []atomic.Bool
+}
+
+var _ ClaimSpace = (*NameSpace)(nil)
+var _ Probeable = (*NameSpace)(nil)
+
+// NewNameSpace returns a name space of m names, all free. The label
+// identifies the space in operation descriptors and traces.
+func NewNameSpace(label string, m int) *NameSpace {
+	if m < 0 {
+		panic("shm: negative name space size")
+	}
+	return &NameSpace{label: label, bits: make([]atomic.Bool, m)}
+}
+
+// Label returns the space's label.
+func (s *NameSpace) Label() string { return s.label }
+
+// Size returns the number of names.
+func (s *NameSpace) Size() int { return len(s.bits) }
+
+// TryClaim test-and-sets name i. One step.
+func (s *NameSpace) TryClaim(p *Proc, i int) bool {
+	p.Step(Op{Kind: OpTAS, Space: s.label, Index: i})
+	return s.bits[i].CompareAndSwap(false, true)
+}
+
+// Claimed reads whether name i is taken. One step.
+func (s *NameSpace) Claimed(p *Proc, i int) bool {
+	p.Step(Op{Kind: OpRead, Space: s.label, Index: i})
+	return s.bits[i].Load()
+}
+
+// Probe reports whether name i is taken without spending a process step.
+// It serves the adversary (Probeable) and post-run verification.
+func (s *NameSpace) Probe(i int) bool { return s.bits[i].Load() }
+
+// CountClaimed returns the number of taken names. Not a process step; used
+// by metrics and tests after (or between) runs.
+func (s *NameSpace) CountClaimed() int {
+	c := 0
+	for i := range s.bits {
+		if s.bits[i].Load() {
+			c++
+		}
+	}
+	return c
+}
+
+// Reset frees every name. Only safe when no processes are running.
+func (s *NameSpace) Reset() {
+	for i := range s.bits {
+		s.bits[i].Store(false)
+	}
+}

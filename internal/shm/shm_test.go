@@ -1,0 +1,189 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"shmrename/internal/prng"
+)
+
+func TestNameSpaceTryClaimOnce(t *testing.T) {
+	s := NewNameSpace("ns", 8)
+	p := NewProc(0, prng.New(1), nil, 0)
+	if !s.TryClaim(p, 3) {
+		t.Fatal("first claim failed")
+	}
+	if s.TryClaim(p, 3) {
+		t.Fatal("second claim of same name succeeded")
+	}
+	if !s.Claimed(p, 3) {
+		t.Fatal("Claimed did not observe the claim")
+	}
+	if s.Claimed(p, 4) {
+		t.Fatal("unclaimed name reported claimed")
+	}
+}
+
+func TestNameSpaceStepsCounted(t *testing.T) {
+	s := NewNameSpace("ns", 4)
+	p := NewProc(0, prng.New(1), nil, 0)
+	s.TryClaim(p, 0)
+	s.Claimed(p, 0)
+	s.TryClaim(p, 1)
+	if p.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3", p.Steps())
+	}
+}
+
+func TestNameSpaceCountAndReset(t *testing.T) {
+	s := NewNameSpace("ns", 10)
+	p := NewProc(0, prng.New(1), nil, 0)
+	for _, i := range []int{0, 2, 4} {
+		s.TryClaim(p, i)
+	}
+	if got := s.CountClaimed(); got != 3 {
+		t.Fatalf("CountClaimed = %d, want 3", got)
+	}
+	if !s.Probe(2) || s.Probe(1) {
+		t.Fatal("Probe mismatch")
+	}
+	s.Reset()
+	if got := s.CountClaimed(); got != 0 {
+		t.Fatalf("after Reset CountClaimed = %d", got)
+	}
+}
+
+// TestNameSpaceMutualExclusion stresses the core TAS property: under real
+// concurrency, every name is won by at most one process.
+func TestNameSpaceMutualExclusion(t *testing.T) {
+	const procs, names = 32, 64
+	s := NewNameSpace("ns", names)
+	wins := make([][]int, procs)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			p := NewProc(pid, prng.NewStream(7, pid), nil, 0)
+			for i := 0; i < names; i++ {
+				if s.TryClaim(p, i) {
+					wins[pid] = append(wins[pid], i)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	owner := make(map[int]int)
+	total := 0
+	for pid, ws := range wins {
+		for _, name := range ws {
+			if prev, dup := owner[name]; dup {
+				t.Fatalf("name %d won by both %d and %d", name, prev, pid)
+			}
+			owner[name] = pid
+			total++
+		}
+	}
+	if total != names {
+		t.Fatalf("%d names claimed, want %d", total, names)
+	}
+}
+
+func TestStepLimitPanics(t *testing.T) {
+	s := NewNameSpace("ns", 4)
+	p := NewProc(5, prng.New(1), nil, 2)
+	s.TryClaim(p, 0)
+	s.TryClaim(p, 1)
+	defer func() {
+		r := recover()
+		sl, ok := r.(StepLimit)
+		if !ok {
+			t.Fatalf("expected StepLimit panic, got %v", r)
+		}
+		if sl.PID != 5 || sl.Limit != 2 {
+			t.Fatalf("unexpected StepLimit contents: %+v", sl)
+		}
+	}()
+	s.TryClaim(p, 2)
+}
+
+type denyGate struct{}
+
+func (denyGate) Await(p *Proc, op Op) bool { return false }
+
+func TestGateDenialPanicsWithCrash(t *testing.T) {
+	s := NewNameSpace("ns", 4)
+	p := NewProc(9, prng.New(1), denyGate{}, 0)
+	defer func() {
+		r := recover()
+		c, ok := r.(Crash)
+		if !ok || c.PID != 9 {
+			t.Fatalf("expected Crash{9}, got %v", r)
+		}
+	}()
+	s.TryClaim(p, 0)
+}
+
+type recordGate struct{ ops []Op }
+
+func (g *recordGate) Await(p *Proc, op Op) bool {
+	g.ops = append(g.ops, op)
+	return true
+}
+
+func TestGateSeesOperations(t *testing.T) {
+	s := NewNameSpace("reg", 4)
+	g := &recordGate{}
+	p := NewProc(0, prng.New(1), g, 0)
+	s.TryClaim(p, 2)
+	s.Claimed(p, 1)
+	want := []Op{
+		{Kind: OpTAS, Space: "reg", Index: 2},
+		{Kind: OpRead, Space: "reg", Index: 1},
+	}
+	if len(g.ops) != len(want) {
+		t.Fatalf("gate saw %d ops, want %d", len(g.ops), len(want))
+	}
+	for i := range want {
+		if g.ops[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v", i, g.ops[i], want[i])
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Kind: OpTAS, Space: "x", Index: 7}
+	if got := op.String(); got != "tas@x[7]" {
+		t.Fatalf("Op.String = %q", got)
+	}
+	op = Op{Kind: OpRead, Space: "y", Index: 0}
+	if got := op.String(); got != "read@y[0]" {
+		t.Fatalf("Op.String = %q", got)
+	}
+}
+
+func TestQuickClaimIdempotence(t *testing.T) {
+	// Property: once claimed, a name can never be claimed again, no matter
+	// the order of attempts.
+	f := func(seed uint64, size8 uint8, attempts8 uint8) bool {
+		size := int(size8%32) + 1
+		attempts := int(attempts8%128) + 1
+		s := NewNameSpace("q", size)
+		p := NewProc(0, prng.New(seed), nil, 0)
+		winners := make(map[int]int)
+		for a := 0; a < attempts; a++ {
+			i := p.Rand().Intn(size)
+			if s.TryClaim(p, i) {
+				winners[i]++
+				if winners[i] > 1 {
+					return false
+				}
+			}
+		}
+		return s.CountClaimed() == len(winners)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package sortnet
+
+// Bitonic builds the normalized (ascending-comparators-only) bitonic
+// sorting network for the given width, which must be a power of two. Its
+// depth equals the odd-even mergesort's (log₂ w)(log₂ w + 1)/2 with ~2×
+// the comparators; it is provided as a second practical instantiation of
+// the [7] renaming construction (both stand in for the impractical AKS
+// network).
+//
+// Construction: stage k (k = 2, 4, ..., w) first runs a "half-cleaner
+// with reversal" on every block of k wires — wire base+i meets wire
+// base+k-1-i — which turns two sorted halves into two bitonic-free
+// comparable halves using only min-up comparators; the remaining
+// substages are standard stride merges (i vs i+d within blocks of 2d).
+func Bitonic(width int) Network {
+	if width < 1 || width&(width-1) != 0 {
+		panic("sortnet: bitonic width must be a positive power of two")
+	}
+	net := Network{Width: width}
+	for k := 2; k <= width; k *= 2 {
+		// Reversal substage.
+		var layer []Comparator
+		for base := 0; base < width; base += k {
+			for i := 0; i < k/2; i++ {
+				layer = append(layer, Comparator{A: base + i, B: base + k - 1 - i})
+			}
+		}
+		sortLayer(layer)
+		net.Layers = append(net.Layers, layer)
+		// Stride substages.
+		for d := k / 4; d >= 1; d /= 2 {
+			layer = nil
+			for base := 0; base < width; base += 2 * d {
+				for i := 0; i < d; i++ {
+					layer = append(layer, Comparator{A: base + i, B: base + i + d})
+				}
+			}
+			sortLayer(layer)
+			net.Layers = append(net.Layers, layer)
+		}
+	}
+	return net
+}
+
+func sortLayer(layer []Comparator) {
+	for i := 1; i < len(layer); i++ {
+		for j := i; j > 0 && layer[j].A < layer[j-1].A; j-- {
+			layer[j], layer[j-1] = layer[j-1], layer[j]
+		}
+	}
+}

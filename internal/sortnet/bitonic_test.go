@@ -1,0 +1,91 @@
+package sortnet
+
+import (
+	"sort"
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/sched"
+)
+
+func TestBitonicStructure(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 16, 64, 256} {
+		net := Bitonic(w)
+		if err := net.Validate(); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if w > 1 {
+			lg := 0
+			for v := w; v > 1; v >>= 1 {
+				lg++
+			}
+			if want := lg * (lg + 1) / 2; net.Depth() != want {
+				t.Fatalf("width %d: depth %d, want %d", w, net.Depth(), want)
+			}
+		}
+	}
+}
+
+func TestBitonicSorts01Exhaustive(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		net := Bitonic(w)
+		for v := uint64(0); v < uint64(1)<<w; v++ {
+			if !net.Sorts01(v) {
+				t.Fatalf("width %d fails on 0-1 input %0*b", w, w, v)
+			}
+		}
+	}
+}
+
+func TestBitonicSortsPermutations(t *testing.T) {
+	r := prng.New(3)
+	net := Bitonic(64)
+	for trial := 0; trial < 50; trial++ {
+		out := net.Apply(r.Perm(64))
+		if !sort.IntsAreSorted(out) {
+			t.Fatalf("trial %d: %v", trial, out)
+		}
+	}
+}
+
+func TestBitonicRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width 6 accepted")
+		}
+	}()
+	Bitonic(6)
+}
+
+func TestBitonicRenamerAdaptive(t *testing.T) {
+	// The renaming adapter works with any sorting network: k processes
+	// on arbitrary wires of a bitonic network exit on wires 0..k-1.
+	r := prng.New(11)
+	net := Bitonic(32)
+	for trial := 0; trial < 10; trial++ {
+		k := 1 + r.Intn(32)
+		inst := NewRenamer(net, r.Perm(32)[:k])
+		res := sched.Run(sched.Config{
+			N: k, Seed: uint64(trial), Fast: sched.FastRandom, Body: inst.Body,
+		})
+		used := make([]bool, k)
+		for _, rr := range res {
+			if rr.Name < 0 || rr.Name >= k || used[rr.Name] {
+				t.Fatalf("trial %d: exit wires invalid", trial)
+			}
+			used[rr.Name] = true
+		}
+	}
+}
+
+func TestBitonicVsOddEvenSizes(t *testing.T) {
+	// Bitonic uses more comparators at equal depth; both are valid
+	// instantiations for E8.
+	b, oe := Bitonic(64), OddEvenMergeSort(64)
+	if b.Depth() != oe.Depth() {
+		t.Fatalf("depths differ: bitonic %d, odd-even %d", b.Depth(), oe.Depth())
+	}
+	if b.Size() <= oe.Size() {
+		t.Fatalf("bitonic size %d should exceed odd-even %d", b.Size(), oe.Size())
+	}
+}

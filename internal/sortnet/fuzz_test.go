@@ -1,0 +1,21 @@
+package sortnet
+
+import "testing"
+
+// FuzzNetworksSort01 checks both Batcher constructions on arbitrary 0-1
+// inputs of width 16 (the 0-1 principle makes this a full sorting check).
+func FuzzNetworksSort01(f *testing.F) {
+	f.Add(uint16(0b1010_1100_0011_0101))
+	f.Add(uint16(0))
+	f.Add(^uint16(0))
+	oe := OddEvenMergeSort(16)
+	bi := Bitonic(16)
+	f.Fuzz(func(t *testing.T, v uint16) {
+		if !oe.Sorts01(uint64(v)) {
+			t.Fatalf("odd-even fails on %016b", v)
+		}
+		if !bi.Sorts01(uint64(v)) {
+			t.Fatalf("bitonic fails on %016b", v)
+		}
+	})
+}

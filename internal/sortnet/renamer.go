@@ -1,0 +1,122 @@
+package sortnet
+
+import (
+	"fmt"
+
+	"shmrename/internal/shm"
+)
+
+// Renamer is the sorting-network renaming protocol of [7]: every
+// comparator carries one TAS register; a process enters the network on the
+// wire of its original name and walks the layers, and at each comparator
+// touching its wire performs a test-and-set — the winner (first arrival)
+// exits on the upper wire A, the loser on B. By the 0-1 principle, the k
+// participating processes leave a sorting network on wires 0..k-1: an
+// adaptive tight renaming with step complexity equal to the network depth.
+//
+// Distinctness of output wires holds even if processes crash mid-network
+// (at most one process exits each comparator side); the contiguity of the
+// output range 0..k-1 requires all k to finish.
+type Renamer struct {
+	net     Network
+	entries []int
+	regs    *shm.NameSpace
+	comps   []Comparator // flat, in layer order; index == TAS register
+	// lookup[layer][wire] = idx+1 if comps[idx] touches wire in that
+	// layer, 0 if untouched.
+	lookup [][]int32
+}
+
+// NewRenamer builds the protocol for len(entries) processes, where
+// entries[pid] is the wire (original name) on which process pid enters.
+// Entries must be distinct and within the network width. Pass nil to use
+// the identity mapping for n == width processes... use NewRenamerN for the
+// common case.
+func NewRenamer(net Network, entries []int) *Renamer {
+	if err := net.Validate(); err != nil {
+		panic(fmt.Sprintf("sortnet: invalid network: %v", err))
+	}
+	seen := make(map[int]bool, len(entries))
+	for _, e := range entries {
+		if e < 0 || e >= net.Width {
+			panic(fmt.Sprintf("sortnet: entry wire %d outside width %d", e, net.Width))
+		}
+		if seen[e] {
+			panic(fmt.Sprintf("sortnet: duplicate entry wire %d", e))
+		}
+		seen[e] = true
+	}
+	r := &Renamer{
+		net:     net,
+		entries: append([]int(nil), entries...),
+		regs:    shm.NewNameSpace("sortnet", net.Size()),
+		lookup:  make([][]int32, net.Depth()),
+	}
+	idx := 0
+	for li, layer := range net.Layers {
+		row := make([]int32, net.Width)
+		for _, c := range layer {
+			r.comps = append(r.comps, c)
+			row[c.A] = int32(idx + 1)
+			row[c.B] = int32(idx + 1)
+			idx++
+		}
+		r.lookup[li] = row
+	}
+	return r
+}
+
+// NewRenamerN builds the protocol for n processes entering on wires
+// 0..n-1 of a fresh odd-even mergesort network of width NextPow2(n).
+func NewRenamerN(n int) *Renamer {
+	if n < 1 {
+		panic("sortnet: NewRenamerN requires n >= 1")
+	}
+	entries := make([]int, n)
+	for i := range entries {
+		entries[i] = i
+	}
+	return NewRenamer(OddEvenMergeSort(NextPow2(n)), entries)
+}
+
+// Label implements core.Instance.
+func (r *Renamer) Label() string {
+	return fmt.Sprintf("sortnet-batcher(w=%d,d=%d)", r.net.Width, r.net.Depth())
+}
+
+// N implements core.Instance.
+func (r *Renamer) N() int { return len(r.entries) }
+
+// M implements core.Instance: output wires lie in [0, width); with all
+// processes finishing they lie in [0, n).
+func (r *Renamer) M() int { return r.net.Width }
+
+// Depth returns the network depth — the per-process step bound.
+func (r *Renamer) Depth() int { return r.net.Depth() }
+
+// Probeables implements core.Instance.
+func (r *Renamer) Probeables() map[string]shm.Probeable {
+	return map[string]shm.Probeable{"sortnet": r.regs}
+}
+
+// Clock implements core.Instance.
+func (r *Renamer) Clock() func() { return nil }
+
+// Body implements core.Instance: walk the layers from the entry wire.
+func (r *Renamer) Body(p *shm.Proc) int {
+	wire := r.entries[p.ID()]
+	for li := range r.lookup {
+		code := r.lookup[li][wire]
+		if code == 0 {
+			continue
+		}
+		idx := int(code) - 1
+		c := r.comps[idx]
+		if r.regs.TryClaim(p, idx) {
+			wire = c.A // first arrival exits on the upper wire
+		} else {
+			wire = c.B
+		}
+	}
+	return wire
+}

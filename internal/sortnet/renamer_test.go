@@ -1,0 +1,135 @@
+package sortnet
+
+import (
+	"testing"
+
+	"shmrename/internal/core"
+	"shmrename/internal/prng"
+	"shmrename/internal/sched"
+)
+
+func TestRenamerImplementsInstance(t *testing.T) {
+	var _ core.Instance = NewRenamerN(4)
+}
+
+func TestRenamerTightOutputs(t *testing.T) {
+	// All n processes traverse; by the 0-1 principle they must exit on
+	// wires 0..n-1 exactly.
+	for _, n := range []int{1, 2, 3, 7, 16, 33, 128} {
+		inst := NewRenamerN(n)
+		res := sched.Run(sched.Config{
+			N: n, Seed: 3, Fast: sched.FastRandom, Body: inst.Body,
+		})
+		used := make([]bool, n)
+		for _, r := range res {
+			if r.Status != sched.Named {
+				t.Fatalf("n=%d pid=%d: %v", n, r.PID, r.Status)
+			}
+			if r.Name < 0 || r.Name >= n {
+				t.Fatalf("n=%d pid=%d: name %d outside [0,%d)", n, r.PID, r.Name, n)
+			}
+			if used[r.Name] {
+				t.Fatalf("n=%d: name %d used twice", n, r.Name)
+			}
+			used[r.Name] = true
+		}
+	}
+}
+
+func TestRenamerAdaptiveSubsets(t *testing.T) {
+	// k processes entering on arbitrary distinct wires of a width-w
+	// network must exit on wires 0..k-1: the adaptive property of [7].
+	r := prng.New(9)
+	const w = 64
+	net := OddEvenMergeSort(w)
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + r.Intn(w)
+		entries := r.Perm(w)[:k]
+		inst := NewRenamer(net, entries)
+		res := sched.Run(sched.Config{
+			N: k, Seed: uint64(trial), Fast: sched.FastRandom, Body: inst.Body,
+		})
+		used := make([]bool, k)
+		for _, rr := range res {
+			if rr.Name < 0 || rr.Name >= k {
+				t.Fatalf("trial %d: k=%d entries exit on wire %d", trial, k, rr.Name)
+			}
+			if used[rr.Name] {
+				t.Fatalf("trial %d: duplicate exit wire %d", trial, rr.Name)
+			}
+			used[rr.Name] = true
+		}
+	}
+}
+
+func TestRenamerStepComplexityIsDepth(t *testing.T) {
+	const n = 256
+	inst := NewRenamerN(n)
+	res := sched.Run(sched.Config{N: n, Seed: 7, Fast: sched.FastFIFO, Body: inst.Body})
+	depth := int64(inst.Depth())
+	for _, r := range res {
+		if r.Steps > depth {
+			t.Fatalf("pid %d took %d steps, depth %d", r.PID, r.Steps, depth)
+		}
+	}
+	// Batcher depth for width 256 is 36: quadratically above log2 n = 8,
+	// which is the E8 comparison point.
+	if depth != 36 {
+		t.Fatalf("depth = %d, want 36", depth)
+	}
+}
+
+func TestRenamerDistinctUnderCrashes(t *testing.T) {
+	// Crash a third of the processes mid-network: survivors must still
+	// hold pairwise distinct wires (contiguity may fail, distinctness not).
+	const n = 64
+	inst := NewRenamerN(n)
+	plan := sched.PlanCrashes(n, 0.33, 5, prng.New(4))
+	res := core.RunSim(inst, 11, sched.WithCrashes(sched.RoundRobin(), plan))
+	seen := map[int]bool{}
+	for _, r := range res {
+		if r.Status != sched.Named {
+			continue
+		}
+		if seen[r.Name] {
+			t.Fatalf("exit wire %d held twice", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	if got := sched.CountStatus(res, sched.Crashed); got != len(plan) {
+		t.Fatalf("crashed %d, want %d", got, len(plan))
+	}
+}
+
+func TestRenamerPanicsOnBadEntries(t *testing.T) {
+	net := OddEvenMergeSort(8)
+	for _, entries := range [][]int{{8}, {-1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("entries %v accepted", entries)
+				}
+			}()
+			NewRenamer(net, entries)
+		}()
+	}
+}
+
+func TestRenamerAccessors(t *testing.T) {
+	inst := NewRenamerN(100)
+	if inst.N() != 100 {
+		t.Fatalf("N = %d", inst.N())
+	}
+	if inst.M() != 128 { // next pow2
+		t.Fatalf("M = %d, want 128", inst.M())
+	}
+	if inst.Clock() != nil {
+		t.Fatal("unexpected clock")
+	}
+	if _, ok := inst.Probeables()["sortnet"]; !ok {
+		t.Fatal("registers not probeable")
+	}
+	if inst.Label() == "" {
+		t.Fatal("empty label")
+	}
+}

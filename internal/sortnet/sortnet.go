@@ -1,0 +1,140 @@
+// Package sortnet implements comparator sorting networks and the
+// sorting-network renaming adapter of Alistarh et al. (PODC 2011,
+// reference [7] of the paper): any sorting network becomes an adaptive
+// tight renaming protocol by implementing every comparator as a 2-process
+// test-and-set splitter, with step complexity equal to the network depth.
+//
+// The paper's construction uses the AKS network — depth O(log n) with
+// unusable constants, which is precisely the overhead the τ-register
+// algorithm avoids. This package provides the practical instantiation,
+// Batcher's odd-even mergesort (depth (log₂ w)(log₂ w + 1)/2), as the
+// realizable baseline for experiment E8 (see DESIGN.md §5).
+package sortnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comparator orders two wires: the smaller value (or, in the renaming
+// adapter, the first process to arrive) exits on wire A, the other on B.
+type Comparator struct {
+	A, B int // A < B
+}
+
+// Network is a comparator network with explicit layers; comparators within
+// a layer touch disjoint wires and run concurrently, so the depth (number
+// of layers) is the per-process step bound of the renaming adapter.
+type Network struct {
+	Width  int
+	Layers [][]Comparator
+}
+
+// OddEvenMergeSort builds Batcher's odd-even mergesort network for the
+// given width, which must be a power of two (use NextPow2). Its depth is
+// (log₂ w)(log₂ w + 1)/2.
+func OddEvenMergeSort(width int) Network {
+	if width < 1 || width&(width-1) != 0 {
+		panic(fmt.Sprintf("sortnet: width %d is not a positive power of two", width))
+	}
+	net := Network{Width: width}
+	for p := 1; p < width; p *= 2 {
+		for k := p; k >= 1; k /= 2 {
+			var layer []Comparator
+			for j := k % p; j <= width-1-k; j += 2 * k {
+				for i := 0; i <= k-1 && i+j+k <= width-1; i++ {
+					if (i+j)/(p*2) == (i+j+k)/(p*2) {
+						layer = append(layer, Comparator{A: i + j, B: i + j + k})
+					}
+				}
+			}
+			if len(layer) > 0 {
+				sort.Slice(layer, func(a, b int) bool { return layer[a].A < layer[b].A })
+				net.Layers = append(net.Layers, layer)
+			}
+		}
+	}
+	return net
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// Depth returns the number of layers.
+func (n Network) Depth() int { return len(n.Layers) }
+
+// Size returns the total number of comparators.
+func (n Network) Size() int {
+	s := 0
+	for _, l := range n.Layers {
+		s += len(l)
+	}
+	return s
+}
+
+// Apply runs the network on a copy of vals (len == Width) and returns the
+// result. Used to verify the sorting property in tests.
+func (n Network) Apply(vals []int) []int {
+	if len(vals) != n.Width {
+		panic(fmt.Sprintf("sortnet: Apply got %d values for width %d", len(vals), n.Width))
+	}
+	out := make([]int, len(vals))
+	copy(out, vals)
+	for _, layer := range n.Layers {
+		for _, c := range layer {
+			if out[c.A] > out[c.B] {
+				out[c.A], out[c.B] = out[c.B], out[c.A]
+			}
+		}
+	}
+	return out
+}
+
+// Sorts01 reports whether the network sorts the given 0-1 vector, encoded
+// in the low Width bits of v (bit i = wire i's input).
+func (n Network) Sorts01(v uint64) bool {
+	in := make([]int, n.Width)
+	ones := 0
+	for i := 0; i < n.Width; i++ {
+		if v&(uint64(1)<<i) != 0 {
+			in[i] = 1
+			ones++
+		}
+	}
+	out := n.Apply(in)
+	for i, x := range out {
+		want := 0
+		if i >= n.Width-ones {
+			want = 1
+		}
+		if x != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: wire indices in range, A < B,
+// and disjoint wires within each layer. It returns the first problem found
+// or nil.
+func (n Network) Validate() error {
+	for li, layer := range n.Layers {
+		used := make(map[int]bool, 2*len(layer))
+		for _, c := range layer {
+			if c.A < 0 || c.B >= n.Width || c.A >= c.B {
+				return fmt.Errorf("layer %d: bad comparator %+v", li, c)
+			}
+			if used[c.A] || used[c.B] {
+				return fmt.Errorf("layer %d: wire reused by %+v", li, c)
+			}
+			used[c.A], used[c.B] = true, true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package sortnet
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"shmrename/internal/prng"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	for n, want := range cases {
+		if got := NextPow2(n); got != want {
+			t.Fatalf("NextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestOddEvenMergeSortStructure(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 256} {
+		net := OddEvenMergeSort(w)
+		if err := net.Validate(); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if w > 1 {
+			lg := 0
+			for v := w; v > 1; v >>= 1 {
+				lg++
+			}
+			wantDepth := lg * (lg + 1) / 2
+			if net.Depth() != wantDepth {
+				t.Fatalf("width %d: depth %d, want %d", w, net.Depth(), wantDepth)
+			}
+		}
+	}
+}
+
+func TestOddEvenMergeSortRejectsNonPow2(t *testing.T) {
+	for _, w := range []int{0, 3, 6, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width %d accepted", w)
+				}
+			}()
+			OddEvenMergeSort(w)
+		}()
+	}
+}
+
+func TestNetworkSortsExhaustive01(t *testing.T) {
+	// The 0-1 principle: a network sorting all 0-1 inputs sorts
+	// everything. Exhaustive for small widths.
+	for _, w := range []int{2, 4, 8, 16} {
+		net := OddEvenMergeSort(w)
+		for v := uint64(0); v < uint64(1)<<w; v++ {
+			if !net.Sorts01(v) {
+				t.Fatalf("width %d fails on 0-1 input %0*b", w, w, v)
+			}
+		}
+	}
+}
+
+func TestNetworkSortsRandomPermutations(t *testing.T) {
+	r := prng.New(5)
+	for _, w := range []int{32, 64, 128} {
+		net := OddEvenMergeSort(w)
+		for trial := 0; trial < 50; trial++ {
+			in := r.Perm(w)
+			out := net.Apply(in)
+			if !sort.IntsAreSorted(out) {
+				t.Fatalf("width %d: output not sorted: %v", w, out)
+			}
+		}
+	}
+}
+
+func TestQuickNetworkSortsArbitraryValues(t *testing.T) {
+	net := OddEvenMergeSort(32)
+	f := func(seed uint64) bool {
+		r := prng.New(seed)
+		in := make([]int, 32)
+		for i := range in {
+			in[i] = r.Intn(100) - 50
+		}
+		return sort.IntsAreSorted(net.Apply(in))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyPanicsOnWrongLength(t *testing.T) {
+	net := OddEvenMergeSort(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-length input accepted")
+		}
+	}()
+	net.Apply(make([]int, 7))
+}
+
+func TestNetworkSizeMatchesLayers(t *testing.T) {
+	net := OddEvenMergeSort(16)
+	total := 0
+	for _, l := range net.Layers {
+		total += len(l)
+	}
+	if net.Size() != total {
+		t.Fatalf("Size %d != layer sum %d", net.Size(), total)
+	}
+	// Batcher odd-even mergesort size for w=16 is 63 comparators.
+	if net.Size() != 63 {
+		t.Fatalf("w=16 size = %d, want 63", net.Size())
+	}
+}

@@ -1,0 +1,178 @@
+// Package tas implements test-and-set objects built from plain read/write
+// registers, the setting of the related-work results [4] and [12] that the
+// paper contrasts with hardware TAS ("Implementing their test-and-set
+// operation would increase the step complexity by a multiplicative
+// O(log log k)...").
+//
+// Construction: each register is a tournament tree over the process ids.
+// Every internal node is a one-shot two-process match in the style of
+// Peterson's algorithm (flags + turn + result registers): safety — never
+// two winners — is deterministic and unconditional; liveness holds under
+// fair schedules without crashes, which is the regime of the E9 overhead
+// ablation. The adaptive randomized wait-free constructions of [4, 12]
+// add coin-flip retreat and splitters to improve the per-operation cost to
+// O(log* k)/O(log log k); our tournament costs Θ(log n) register
+// operations per test-and-set, so E9 reports a conservative (larger)
+// overhead factor, as documented in DESIGN.md §5 and EXPERIMENTS.md.
+package tas
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"shmrename/internal/shm"
+)
+
+// match is a one-shot two-process test-and-set from read/write registers.
+// Side 0 is the contender arriving from the left subtree, side 1 from the
+// right. All fields are plain single-writer/multi-reader registers
+// (atomics are used only to get well-defined memory ordering; no RMW
+// operation is ever performed on them).
+type match struct {
+	want [2]atomic.Int32
+	turn atomic.Int32 // 1 + side of the last turn writer; 0 = unset
+	res  atomic.Int32 // 1 + winning side; 0 = undecided
+}
+
+// play runs the match for the given side, charging register operations to
+// p under the given op space label. It returns true if this side won.
+//
+// Protocol: raise the flag, write the turn, then loop — absent opponent
+// wins; seeing the opponent's turn value wins (the later turn writer
+// yields); otherwise spin until the winner publishes the result. Exactly
+// one side can observe each winning condition, and the turn register
+// breaks the symmetric race: both spinning is impossible because turn
+// holds a single value.
+func (m *match) play(p *shm.Proc, label string, node int, side int32) bool {
+	other := 1 - side
+	op := func(kind shm.OpKind) {
+		p.Step(shm.Op{Kind: kind, Space: label, Index: node})
+	}
+	op(shm.OpTAS) // write want[side]
+	m.want[side].Store(1)
+	op(shm.OpTAS) // write turn
+	m.turn.Store(1 + side)
+	for {
+		op(shm.OpRead)
+		if m.want[other].Load() == 0 {
+			op(shm.OpTAS)
+			m.res.Store(1 + side)
+			return true
+		}
+		op(shm.OpRead)
+		if m.turn.Load() == 1+other {
+			op(shm.OpTAS)
+			m.res.Store(1 + side)
+			return true
+		}
+		op(shm.OpRead)
+		if r := m.res.Load(); r != 0 {
+			return r == 1+side
+		}
+	}
+}
+
+// RWRegister is one test-and-set register built from read/write registers:
+// a tournament tree with one match per internal node over nextPow2(n)
+// leaves (leaf = process id), plus a settled register for the fast path.
+type RWRegister struct {
+	leaves  int
+	nodes   []match // heap layout: node k has children 2k+1, 2k+2
+	settled atomic.Int32
+}
+
+func newRWRegister(leaves int) *RWRegister {
+	return &RWRegister{leaves: leaves, nodes: make([]match, leaves-1)}
+}
+
+// acquire plays the tournament from p's leaf to the root. Replays are
+// safe: decided matches return their recorded result.
+func (r *RWRegister) acquire(p *shm.Proc, label string, reg int) bool {
+	if r.leaves == 1 {
+		// Single possible contender: winning is a single write.
+		p.Step(shm.Op{Kind: shm.OpTAS, Space: label, Index: reg})
+		return r.settled.CompareAndSwap(0, 1) // sole contender; no race
+	}
+	// Node index of leaf pid in the implicit heap of 2*leaves-1 nodes:
+	// leaves occupy [leaves-1, 2*leaves-2].
+	k := r.leaves - 1 + p.ID()%r.leaves
+	for k > 0 {
+		parent := (k - 1) / 2
+		side := int32((k - 1) % 2) // left child plays side 0
+		if !r.nodes[parent].play(p, label, reg, side) {
+			return false
+		}
+		k = parent
+	}
+	p.Step(shm.Op{Kind: shm.OpTAS, Space: label, Index: reg}) // write settled
+	r.settled.Store(1)
+	return true
+}
+
+// RWSpace is a name space of RWRegister objects; it implements
+// shm.ClaimSpace and shm.Probeable so the §IV algorithms run unchanged on
+// software TAS (experiment E9).
+type RWSpace struct {
+	label string
+	n     int // maximum contenders (process count)
+	regs  []*RWRegister
+}
+
+var _ shm.ClaimSpace = (*RWSpace)(nil)
+var _ shm.Probeable = (*RWSpace)(nil)
+
+// NewRWSpace builds m software TAS registers for up to n processes.
+func NewRWSpace(label string, m, n int) *RWSpace {
+	if m < 0 || n < 1 {
+		panic(fmt.Sprintf("tas: invalid space m=%d n=%d", m, n))
+	}
+	leaves := 1
+	for leaves < n {
+		leaves *= 2
+	}
+	s := &RWSpace{label: label, n: n, regs: make([]*RWRegister, m)}
+	for i := range s.regs {
+		s.regs[i] = newRWRegister(leaves)
+	}
+	return s
+}
+
+// Label returns the operation-space label; RWSpace implements
+// shm.LabeledProbeable.
+func (s *RWSpace) Label() string { return s.label }
+
+// Size implements shm.ClaimSpace.
+func (s *RWSpace) Size() int { return len(s.regs) }
+
+// TryClaim implements shm.ClaimSpace: play the register's tournament.
+// A fast-path read returns false immediately when the register has
+// already settled.
+func (s *RWSpace) TryClaim(p *shm.Proc, i int) bool {
+	p.Step(shm.Op{Kind: shm.OpRead, Space: s.label, Index: i})
+	if s.regs[i].settled.Load() != 0 {
+		return false
+	}
+	return s.regs[i].acquire(p, s.label, i)
+}
+
+// Claimed implements shm.ClaimSpace. It reads the settled register, which
+// trails the actual decision by the winner's O(log n) climb; the §IV
+// algorithms only use it opportunistically, so the lag is harmless.
+func (s *RWSpace) Claimed(p *shm.Proc, i int) bool {
+	p.Step(shm.Op{Kind: shm.OpRead, Space: s.label, Index: i})
+	return s.regs[i].settled.Load() != 0
+}
+
+// Probe implements shm.Probeable.
+func (s *RWSpace) Probe(i int) bool { return s.regs[i].settled.Load() != 0 }
+
+// CountClaimed returns the number of settled registers (diagnostics).
+func (s *RWSpace) CountClaimed() int {
+	c := 0
+	for _, r := range s.regs {
+		if r.settled.Load() != 0 {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,182 @@
+package tas
+
+import (
+	"sync"
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/sched"
+	"shmrename/internal/shm"
+)
+
+func newProc(id int) *shm.Proc {
+	return shm.NewProc(id, prng.NewStream(3, id), nil, 1<<20)
+}
+
+func TestRWSpaceBasicClaim(t *testing.T) {
+	s := NewRWSpace("rw", 8, 4)
+	p := newProc(0)
+	if !s.TryClaim(p, 2) {
+		t.Fatal("claim on free register failed")
+	}
+	if s.TryClaim(newProc(1), 2) {
+		t.Fatal("claim on settled register succeeded")
+	}
+	if !s.Claimed(newProc(2), 2) {
+		t.Fatal("Claimed did not observe the claim")
+	}
+	if s.Claimed(newProc(2), 3) {
+		t.Fatal("fresh register reported claimed")
+	}
+	if got := s.CountClaimed(); got != 1 {
+		t.Fatalf("CountClaimed = %d", got)
+	}
+}
+
+func TestRWSpaceSingleLeaf(t *testing.T) {
+	s := NewRWSpace("rw", 4, 1)
+	p := newProc(0)
+	if !s.TryClaim(p, 0) {
+		t.Fatal("sole contender failed to claim")
+	}
+	if s.TryClaim(p, 0) {
+		t.Fatal("second claim succeeded")
+	}
+}
+
+func TestRWSpaceReplaySafe(t *testing.T) {
+	// A process may probe the same register repeatedly (the §IV
+	// algorithms sample with replacement); replays must return false
+	// without corrupting the tournament.
+	s := NewRWSpace("rw", 2, 8)
+	w := newProc(3)
+	if !s.TryClaim(w, 0) {
+		t.Fatal("first claim failed")
+	}
+	for i := 0; i < 3; i++ {
+		if s.TryClaim(w, 0) {
+			t.Fatal("replay won a settled register")
+		}
+	}
+	// A different process must also lose.
+	if s.TryClaim(newProc(5), 0) {
+		t.Fatal("second process won a settled register")
+	}
+}
+
+// TestRWSpaceMutualExclusionUnderScheduler drives many processes through
+// the same register under adversarial interleavings: exactly one winner.
+func TestRWSpaceMutualExclusionUnderScheduler(t *testing.T) {
+	for _, policy := range []sched.Policy{sched.RoundRobin(), sched.Random(), sched.Collider()} {
+		for seed := uint64(0); seed < 5; seed++ {
+			const n = 16
+			s := NewRWSpace("rw", 1, n)
+			var mu sync.Mutex
+			winners := 0
+			body := func(p *shm.Proc) int {
+				if s.TryClaim(p, 0) {
+					mu.Lock()
+					winners++
+					mu.Unlock()
+					return 0
+				}
+				return -1
+			}
+			res := sched.Run(sched.Config{
+				N: n, Seed: seed, Policy: policy, Body: body,
+				Spaces: map[string]shm.Probeable{"rw": s},
+			})
+			if winners != 1 {
+				t.Fatalf("policy %s seed %d: %d winners", policy.Name(), seed, winners)
+			}
+			if got := sched.CountStatus(res, sched.Named); got != 1 {
+				t.Fatalf("policy %s seed %d: %d named", policy.Name(), seed, got)
+			}
+		}
+	}
+}
+
+// TestRWSpaceNativeStress races real goroutines on a small space.
+func TestRWSpaceNativeStress(t *testing.T) {
+	const n, m = 32, 8
+	s := NewRWSpace("rw", m, n)
+	var mu sync.Mutex
+	owners := map[int][]int{}
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			p := newProc(pid)
+			for i := 0; i < m; i++ {
+				if s.TryClaim(p, i) {
+					mu.Lock()
+					owners[i] = append(owners[i], pid)
+					mu.Unlock()
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	for i, os := range owners {
+		if len(os) != 1 {
+			t.Fatalf("register %d won by %v", i, os)
+		}
+	}
+	if len(owners) != m {
+		t.Fatalf("only %d of %d registers won", len(owners), m)
+	}
+}
+
+func TestRWSpaceRenamingEndToEnd(t *testing.T) {
+	// Uniform probing on a loose software-TAS space: everyone gets a
+	// distinct name. This is the E9 configuration in miniature.
+	const n = 48
+	s := NewRWSpace("rw", 2*n, n)
+	body := func(p *shm.Proc) int {
+		r := p.Rand()
+		for {
+			i := r.Intn(s.Size())
+			if s.TryClaim(p, i) {
+				return i
+			}
+		}
+	}
+	res := sched.Run(sched.Config{N: n, Seed: 9, Fast: sched.FastFIFO, Body: body})
+	if got := sched.CountStatus(res, sched.Named); got != n {
+		t.Fatalf("%d named, want %d", got, n)
+	}
+	if err := sched.VerifyUnique(res, s.Size()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRWSpaceStepOverheadIsLogarithmic(t *testing.T) {
+	// One uncontended claim costs Θ(log n) register operations — the
+	// multiplicative software-TAS overhead E9 quantifies. For n=64
+	// (6 levels, ~5 ops each) expect roughly 20-40 steps, never 1.
+	s := NewRWSpace("rw", 1, 64)
+	p := newProc(0)
+	if !s.TryClaim(p, 0) {
+		t.Fatal("claim failed")
+	}
+	if p.Steps() < 12 || p.Steps() > 60 {
+		t.Fatalf("uncontended claim took %d steps; want Θ(log n) ≈ 12..60", p.Steps())
+	}
+}
+
+func TestRWSpacePanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRWSpace("rw", -1, 4) },
+		func() { NewRWSpace("rw", 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid args accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,188 @@
+package taureg
+
+import (
+	"sync"
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/sched"
+	"shmrename/internal/shm"
+)
+
+func uniformSpecs(devices, tau int) []Spec {
+	specs := make([]Spec, devices)
+	for i := range specs {
+		specs[i] = Spec{Tau: tau, Names: tau}
+	}
+	return specs
+}
+
+func TestArrayLayout(t *testing.T) {
+	a := NewArray("taux", 8, []Spec{{4, 4}, {4, 4}, {2, 2}}, false)
+	if a.NumDevices() != 3 {
+		t.Fatalf("NumDevices = %d", a.NumDevices())
+	}
+	if a.TotalNames() != 10 {
+		t.Fatalf("TotalNames = %d, want 10", a.TotalNames())
+	}
+	if a.TotalBits() != 24 {
+		t.Fatalf("TotalBits = %d, want 24", a.TotalBits())
+	}
+	wantBase := []int{0, 4, 8}
+	for d, want := range wantBase {
+		if got := a.NameBase(d); got != want {
+			t.Fatalf("NameBase(%d) = %d, want %d", d, got, want)
+		}
+	}
+	if a.NameCount(2) != 2 {
+		t.Fatalf("NameCount(2) = %d", a.NameCount(2))
+	}
+}
+
+func TestArrayRejectsMismatchedSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tau != names accepted")
+		}
+	}()
+	NewArray("bad", 8, []Spec{{Tau: 3, Names: 4}}, false)
+}
+
+func TestArrayClaimNameFindsFreeSlot(t *testing.T) {
+	a := NewArray("taux", 8, uniformSpecs(2, 4), true)
+	// Three winners on device 1 claim three distinct global names from
+	// device 1's block [4, 8).
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		p := newProc(i)
+		if got := a.Device(1).AcquireBit(p, i); got != Won {
+			t.Fatalf("winner %d: %v", i, got)
+		}
+		g := a.ClaimName(p, 1)
+		if g < 4 || g >= 8 {
+			t.Fatalf("claimed name %d outside device 1 block", g)
+		}
+		if seen[g] {
+			t.Fatalf("name %d claimed twice", g)
+		}
+		seen[g] = true
+	}
+	if a.NamesClaimed() != 3 {
+		t.Fatalf("NamesClaimed = %d", a.NamesClaimed())
+	}
+}
+
+func TestArrayTryNameBounds(t *testing.T) {
+	a := NewArray("taux", 8, uniformSpecs(2, 4), true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-block name accepted")
+		}
+	}()
+	a.TryName(newProc(0), 0, 4)
+}
+
+func TestArrayProbeables(t *testing.T) {
+	a := NewArray("taux", 8, uniformSpecs(2, 4), true)
+	m := a.Probeables()
+	if len(m) != 3 { // 2 devices + names
+		t.Fatalf("Probeables size = %d, want 3", len(m))
+	}
+	if _, ok := m["taux:names"]; !ok {
+		t.Fatal("names space not exposed")
+	}
+	if _, ok := m["taux:dev0"]; !ok {
+		t.Fatal("device 0 not exposed")
+	}
+}
+
+// TestArrayFullProtocolSimulated drives the complete §II.B protocol under
+// the deterministic scheduler with the external clock: n processes compete
+// for bits across devices and everyone who wins a bit gets a distinct name.
+func TestArrayFullProtocolSimulated(t *testing.T) {
+	const devices, tau, width = 4, 4, 8
+	a := NewArray("taux", width, uniformSpecs(devices, tau), false)
+	n := devices * tau // as many processes as total capacity
+
+	body := func(p *shm.Proc) int {
+		r := p.Rand()
+		for {
+			d := r.Intn(devices)
+			dev := a.Device(d)
+			if dev.Full(p) {
+				continue
+			}
+			b := r.Intn(width)
+			if o := dev.AcquireBit(p, b); o == Won {
+				return a.ClaimName(p, d)
+			}
+		}
+	}
+	res := sched.Run(sched.Config{
+		N: n, Seed: 5, Body: body,
+		AfterStep: a.CycleAll,
+		Spaces:    a.Probeables(),
+	})
+	if got := sched.CountStatus(res, sched.Named); got != n {
+		t.Fatalf("%d named, want %d", got, n)
+	}
+	if err := sched.VerifyUnique(res, a.TotalNames()); err != nil {
+		t.Fatal(err)
+	}
+	if a.ConfirmedTotal() != n {
+		t.Fatalf("confirmed %d, want %d", a.ConfirmedTotal(), n)
+	}
+}
+
+// TestArrayNativeParallelClaims exercises ClaimName's capacity guarantee
+// under real parallelism: winners never outnumber names.
+func TestArrayNativeParallelClaims(t *testing.T) {
+	const devices, tau, width = 8, 8, 16
+	a := NewArray("taux", width, uniformSpecs(devices, tau), true)
+	n := devices * tau
+	names := make([]int, n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			p := shm.NewProc(pid, prng.NewStream(23, pid), nil, 1<<20)
+			r := p.Rand()
+			names[pid] = -1
+			for {
+				d := r.Intn(devices)
+				dev := a.Device(d)
+				if dev.Full(p) {
+					continue
+				}
+				b := r.Intn(width)
+				if dev.AcquireBit(p, b) == Won {
+					names[pid] = a.ClaimName(p, d)
+					return
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for pid, g := range names {
+		if g < 0 || g >= a.TotalNames() {
+			t.Fatalf("pid %d holds invalid name %d", pid, g)
+		}
+		if seen[g] {
+			t.Fatalf("name %d held twice", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestCycleAllAdvancesEveryDevice(t *testing.T) {
+	a := NewArray("taux", 8, uniformSpecs(3, 2), false)
+	a.CycleAll()
+	a.CycleAll()
+	for d := 0; d < a.NumDevices(); d++ {
+		if got := a.Device(d).Cycles(); got != 2 {
+			t.Fatalf("device %d cycles = %d, want 2", d, got)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package taureg
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+func newProc(id int) *shm.Proc {
+	return shm.NewProc(id, prng.NewStream(1, id), nil, 1<<20)
+}
+
+func TestTrimEquivalence(t *testing.T) {
+	// Property: the faithful shift-scan of §II.C equals "keep the k
+	// lowest-indexed new bits" for every word, width, and allowance.
+	f := func(raw uint64, width8, allowed8 uint8) bool {
+		width := int(width8%64) + 1
+		mask := uint64(1)<<width - 1
+		if width == 64 {
+			mask = ^uint64(0)
+		}
+		newBits := raw & mask
+		allowed := int(allowed8) % (width + 1)
+		want := trimLowestK(newBits, allowed)
+		if bits.OnesCount64(newBits) <= allowed {
+			want = newBits
+		}
+		got := trimShiftScan(newBits, allowed, width)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimEdgeCases(t *testing.T) {
+	if got := trimShiftScan(0b1111, 0, 8); got != 0 {
+		t.Fatalf("allowed=0 kept %b", got)
+	}
+	if got := trimShiftScan(0b1111, 4, 8); got != 0b1111 {
+		t.Fatalf("allowed=popcnt trimmed to %b", got)
+	}
+	if got := trimShiftScan(0b1111, 2, 8); got != 0b0011 {
+		t.Fatalf("keep-2 of 0b1111 = %b, want 0b0011", got)
+	}
+	if got := trimShiftScan(0b1010_1010, 3, 8); got != 0b0010_1010 {
+		t.Fatalf("keep-3 of 0b10101010 = %b, want 0b00101010", got)
+	}
+	// Full-width word.
+	if got := trimShiftScan(^uint64(0), 1, 64); got != 1 {
+		t.Fatalf("keep-1 of all-ones = %x", got)
+	}
+}
+
+func TestDeviceBasicWinAndLose(t *testing.T) {
+	d := NewDevice("dev", 8, 2, false)
+	p0, p1, p2 := newProc(0), newProc(1), newProc(2)
+
+	if !d.RequestBit(p0, 3) {
+		t.Fatal("first request on free bit failed")
+	}
+	if d.RequestBit(p1, 3) {
+		t.Fatal("second request on held bit succeeded")
+	}
+	if got := d.Resolve(p0, 3); got != Pending {
+		t.Fatalf("before any cycle outcome = %v, want pending", got)
+	}
+	d.Cycle()
+	if got := d.Resolve(p0, 3); got != Won {
+		t.Fatalf("after cycle outcome = %v, want won", got)
+	}
+	// p1 lost bit 3 but can win another (drive the clock by hand on this
+	// externally clocked device).
+	if !d.RequestBit(p1, 4) {
+		t.Fatal("p1 could not set free bit 4")
+	}
+	d.Cycle()
+	if got := d.Resolve(p1, 4); got != Won {
+		t.Fatalf("p1 on bit 4 = %v, want won", got)
+	}
+	// Threshold reached: p2 can set a bit but never be confirmed.
+	if !d.RequestBit(p2, 5) {
+		t.Fatal("p2 could not set free bit 5")
+	}
+	d.Cycle()
+	if got := d.Resolve(p2, 5); got != Lost {
+		t.Fatalf("beyond-threshold request = %v, want lost", got)
+	}
+	if d.ConfirmedCount() != 2 {
+		t.Fatalf("confirmed = %d, want 2", d.ConfirmedCount())
+	}
+}
+
+func TestDeviceThresholdTrimsArbitrationWithinOneCycle(t *testing.T) {
+	// 6 requests race into one cycle with tau=3: exactly 3 confirmed,
+	// 3 cleared, all decided by the next cycle.
+	d := NewDevice("dev", 12, 3, false)
+	procs := make([]*shm.Proc, 6)
+	for i := range procs {
+		procs[i] = newProc(i)
+		if !d.RequestBit(procs[i], i*2) {
+			t.Fatalf("request %d failed on free bit", i)
+		}
+	}
+	d.Cycle()
+	won, lost := 0, 0
+	for i, p := range procs {
+		switch d.Resolve(p, i*2) {
+		case Won:
+			won++
+		case Lost:
+			lost++
+		default:
+			t.Fatalf("request %d still pending after a full cycle", i)
+		}
+	}
+	if won != 3 || lost != 3 {
+		t.Fatalf("won=%d lost=%d, want 3/3", won, lost)
+	}
+	in, out := d.Snapshot()
+	if in != out {
+		t.Fatalf("cycle did not reconcile registers: in=%b out=%b", in, out)
+	}
+}
+
+func TestDeviceConfirmedMonotone(t *testing.T) {
+	d := NewDevice("dev", 16, 5, false)
+	r := prng.New(3)
+	var confirmedBefore uint64
+	for step := 0; step < 200; step++ {
+		p := newProc(step)
+		d.RequestBit(p, r.Intn(16))
+		d.Cycle()
+		_, out := d.Snapshot()
+		if out&confirmedBefore != confirmedBefore {
+			t.Fatalf("confirmed bit was unset: before=%b after=%b", confirmedBefore, out)
+		}
+		confirmedBefore = out
+		if d.ConfirmedCount() > 5 {
+			t.Fatalf("confirmed count %d exceeds tau", d.ConfirmedCount())
+		}
+	}
+}
+
+func TestDeviceSelfClockedResolvesImmediately(t *testing.T) {
+	d := NewDevice("dev", 8, 1, true)
+	p0, p1 := newProc(0), newProc(1)
+	if got := d.AcquireBit(p0, 0); got != Won {
+		t.Fatalf("first acquire = %v", got)
+	}
+	if got := d.AcquireBit(p1, 1); got != Lost {
+		t.Fatalf("beyond-threshold acquire = %v, want lost", got)
+	}
+}
+
+func TestDeviceFull(t *testing.T) {
+	d := NewDevice("dev", 8, 2, true)
+	p := newProc(0)
+	if d.Full(p) {
+		t.Fatal("fresh device reports full")
+	}
+	d.AcquireBit(newProc(1), 0)
+	d.AcquireBit(newProc(2), 1)
+	if !d.Full(p) {
+		t.Fatal("device at tau confirmations not full")
+	}
+}
+
+func TestDeviceTauZeroRejectsEverything(t *testing.T) {
+	d := NewDevice("dev", 8, 0, true)
+	for i := 0; i < 8; i++ {
+		if got := d.AcquireBit(newProc(i), i); got != Lost {
+			t.Fatalf("tau=0 device confirmed bit %d", i)
+		}
+	}
+	if d.ConfirmedCount() != 0 {
+		t.Fatal("tau=0 device has confirmations")
+	}
+}
+
+// TestDeviceConcurrentStress is the E11 invariant under real parallelism:
+// many goroutines hammer a self-clocked device; at most tau are ever
+// confirmed, winners are distinct bits, every process gets a decision.
+func TestDeviceConcurrentStress(t *testing.T) {
+	for _, cfg := range []struct{ width, tau, procs int }{
+		{8, 4, 16}, {16, 8, 64}, {64, 32, 256}, {64, 1, 64},
+	} {
+		d := NewDevice("dev", cfg.width, cfg.tau, true)
+		outcomes := make([]Outcome, cfg.procs)
+		bitsHeld := make([]int, cfg.procs)
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.procs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p := shm.NewProc(i, prng.NewStream(11, i), nil, 1<<20)
+				r := p.Rand()
+				for attempt := 0; attempt < 4*cfg.width; attempt++ {
+					b := r.Intn(cfg.width)
+					o := d.AcquireBit(p, b)
+					outcomes[i] = o
+					if o == Won {
+						bitsHeld[i] = b
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		won := map[int]int{}
+		for i, o := range outcomes {
+			if o == Won {
+				if prev, dup := won[bitsHeld[i]]; dup {
+					t.Fatalf("width=%d tau=%d: bit %d won by %d and %d",
+						cfg.width, cfg.tau, bitsHeld[i], prev, i)
+				}
+				won[bitsHeld[i]] = i
+			}
+		}
+		if len(won) > cfg.tau {
+			t.Fatalf("width=%d tau=%d: %d winners exceed tau", cfg.width, cfg.tau, len(won))
+		}
+		if d.ConfirmedCount() > cfg.tau {
+			t.Fatalf("width=%d tau=%d: confirmed %d exceeds tau",
+				cfg.width, cfg.tau, d.ConfirmedCount())
+		}
+		if len(won) != cfg.tau {
+			// With 4*width attempts per process and procs >= tau the
+			// device must saturate.
+			t.Fatalf("width=%d tau=%d: device not saturated: %d winners",
+				cfg.width, cfg.tau, len(won))
+		}
+	}
+}
+
+func TestQuickDeviceNeverExceedsTau(t *testing.T) {
+	// Property: any interleaving of requests and cycles keeps
+	// popcnt(out_reg) <= tau and out_reg ⊆ in_reg-history.
+	f := func(seed uint64, width8, tau8, ops8 uint8) bool {
+		width := int(width8%63) + 2
+		tau := int(tau8) % (width + 1)
+		ops := int(ops8)%120 + 10
+		d := NewDevice("q", width, tau, false)
+		r := prng.New(seed)
+		requested := uint64(0)
+		for i := 0; i < ops; i++ {
+			if r.Bool() {
+				b := r.Intn(width)
+				if d.RequestBit(newProc(i), b) {
+					requested |= uint64(1) << b
+				}
+			} else {
+				d.Cycle()
+			}
+			if d.ConfirmedCount() > tau {
+				return false
+			}
+			_, out := d.Snapshot()
+			if out&^requested != 0 {
+				return false // confirmed a bit nobody requested
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDevicePanicsOnBadConstruction(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDevice("x", 0, 0, false) },
+		func() { NewDevice("x", 65, 1, false) },
+		func() { NewDevice("x", 8, 9, false) },
+		func() { NewDevice("x", 8, -1, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Pending.String() != "pending" || Won.String() != "won" || Lost.String() != "lost" {
+		t.Fatal("Outcome.String mismatch")
+	}
+}
+
+func TestDeviceStepAccounting(t *testing.T) {
+	d := NewDevice("dev", 8, 2, false)
+	p := newProc(0)
+	d.RequestBit(p, 0) // 1 step
+	d.Cycle()
+	d.Resolve(p, 0) // 1 step
+	d.Full(p)       // 1 step
+	if p.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3", p.Steps())
+	}
+}

@@ -1,0 +1,84 @@
+package taureg
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzTrimShiftScan cross-checks the faithful §II.C trim against the
+// direct lowest-k specification and its structural invariants on
+// arbitrary words.
+func FuzzTrimShiftScan(f *testing.F) {
+	f.Add(uint64(0b1011), 2, 8)
+	f.Add(uint64(0), 0, 1)
+	f.Add(^uint64(0), 31, 64)
+	f.Add(uint64(0b1000_0001), 1, 8)
+	f.Fuzz(func(t *testing.T, word uint64, allowed, width int) {
+		width = width&63 + 1 // 1..64
+		mask := uint64(1)<<width - 1
+		if width == 64 {
+			mask = ^uint64(0)
+		}
+		word &= mask
+		if allowed < 0 {
+			allowed = -allowed
+		}
+		allowed %= width + 1
+		got := trimShiftScan(word, allowed, width)
+		if got&^word != 0 {
+			t.Fatalf("invented bits: word=%b got=%b", word, got)
+		}
+		if bits.OnesCount64(word) <= allowed {
+			if got != word {
+				t.Fatalf("under-threshold word trimmed: %b -> %b", word, got)
+			}
+			return
+		}
+		if bits.OnesCount64(got) != allowed {
+			t.Fatalf("kept %d bits, want %d", bits.OnesCount64(got), allowed)
+		}
+		if want := trimLowestK(word, allowed); got != want {
+			t.Fatalf("selection mismatch: word=%b got=%b want=%b", word, got, want)
+		}
+	})
+}
+
+// FuzzDeviceCycleInvariants feeds arbitrary request/cycle interleavings to
+// a device and asserts the §II.C contract.
+func FuzzDeviceCycleInvariants(f *testing.F) {
+	f.Add(uint64(7), uint8(16), uint8(4), uint8(40))
+	f.Fuzz(func(t *testing.T, seed uint64, width8, tau8, ops8 uint8) {
+		width := int(width8)%64 + 1
+		tau := int(tau8) % (width + 1)
+		d := NewDevice("fuzz", width, tau, false)
+		requested := uint64(0)
+		s := seed
+		for i := 0; i < int(ops8); i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			if s&1 == 0 {
+				b := int(s>>32) % width
+				if b < 0 {
+					b = -b
+				}
+				if d.RequestBit(newProc(i), b) {
+					requested |= uint64(1) << b
+				}
+			} else {
+				d.Cycle()
+			}
+			if d.ConfirmedCount() > tau {
+				t.Fatalf("confirmed %d > tau %d", d.ConfirmedCount(), tau)
+			}
+			_, out := d.Snapshot()
+			if out&^requested != 0 {
+				t.Fatalf("confirmed unrequested bits: out=%b requested=%b", out, requested)
+			}
+		}
+		// A final cycle decides everything observed.
+		d.Cycle()
+		in, out := d.Snapshot()
+		if in != out {
+			t.Fatalf("registers unreconciled after quiescent cycle: in=%b out=%b", in, out)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package taureg
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestTrimExhaustiveSmallWidths checks the faithful shift-scan against the
+// specification on EVERY (word, allowed) pair for widths up to 8 — 2^8×9
+// cases per width — pinning the §II.C selection semantics exactly.
+func TestTrimExhaustiveSmallWidths(t *testing.T) {
+	for width := 1; width <= 8; width++ {
+		mask := uint64(1)<<width - 1
+		for word := uint64(0); word <= mask; word++ {
+			for allowed := 0; allowed <= width; allowed++ {
+				got := trimShiftScan(word, allowed, width)
+				var want uint64
+				if bits.OnesCount64(word) <= allowed {
+					want = word
+				} else {
+					want = trimLowestK(word, allowed)
+				}
+				if got != want {
+					t.Fatalf("width=%d word=%b allowed=%d: got %b want %b",
+						width, word, allowed, got, want)
+				}
+				// Structural invariants regardless of equality:
+				if got&^word != 0 {
+					t.Fatalf("trim invented bits: word=%b got=%b", word, got)
+				}
+				if bits.OnesCount64(got) > allowed {
+					t.Fatalf("trim kept too many: word=%b allowed=%d got=%b",
+						word, allowed, got)
+				}
+			}
+		}
+	}
+}
+
+// TestTrimKeepsLowestIndexed verifies the tie-breaking direction: the
+// device favors low bit indices, which the array layout maps to the
+// lowest names in the block.
+func TestTrimKeepsLowestIndexed(t *testing.T) {
+	got := trimShiftScan(0b1100_0011, 2, 8)
+	if got != 0b0000_0011 {
+		t.Fatalf("got %08b, want the two lowest bits", got)
+	}
+	got = trimShiftScan(0b1100_0011, 3, 8)
+	if got != 0b0100_0011 {
+		t.Fatalf("got %08b, want bits {0,1,6}", got)
+	}
+}
+
+// TestDeviceInterleavedRequestsAcrossCycles drives a request pattern where
+// bits arrive between the snapshot and the trim of consecutive cycles; no
+// request may be silently dropped: every set bit either confirms or clears
+// within one further cycle.
+func TestDeviceInterleavedRequestsAcrossCycles(t *testing.T) {
+	d := NewDevice("interleave", 16, 4, false)
+	type req struct {
+		p   int
+		bit int
+	}
+	// 8 requesters in 4 waves of 2, a cycle between each wave.
+	var live []req
+	pid := 0
+	for wave := 0; wave < 4; wave++ {
+		for k := 0; k < 2; k++ {
+			b := pid * 2 % 16
+			if d.RequestBit(newProc(pid), b) {
+				live = append(live, req{p: pid, bit: b})
+			}
+			pid++
+		}
+		d.Cycle()
+	}
+	d.Cycle()
+	won := 0
+	for _, r := range live {
+		switch d.peek(r.bit) {
+		case Won:
+			won++
+		case Pending:
+			t.Fatalf("request on bit %d still pending after final cycle", r.bit)
+		}
+	}
+	if won != 4 {
+		t.Fatalf("confirmed %d, want exactly tau=4", won)
+	}
+	if d.ConfirmedCount() != 4 {
+		t.Fatalf("device reports %d confirmed", d.ConfirmedCount())
+	}
+}
+
+// TestDeviceWidth64Full exercises the extreme word geometry.
+func TestDeviceWidth64Full(t *testing.T) {
+	d := NewDevice("wide", 64, 64, false)
+	for b := 0; b < 64; b++ {
+		if !d.RequestBit(newProc(b), b) {
+			t.Fatalf("request on bit %d failed", b)
+		}
+	}
+	d.Cycle()
+	if d.ConfirmedCount() != 64 {
+		t.Fatalf("confirmed %d, want 64", d.ConfirmedCount())
+	}
+	in, out := d.Snapshot()
+	if in != ^uint64(0) || out != ^uint64(0) {
+		t.Fatalf("registers in=%x out=%x", in, out)
+	}
+}
+
+// TestDeviceWidth64Threshold trims correctly at the word boundary.
+func TestDeviceWidth64Threshold(t *testing.T) {
+	d := NewDevice("wide", 64, 3, false)
+	for b := 60; b < 64; b++ { // 4 requests into the top bits
+		d.RequestBit(newProc(b), b)
+	}
+	d.Cycle()
+	if d.ConfirmedCount() != 3 {
+		t.Fatalf("confirmed %d, want 3", d.ConfirmedCount())
+	}
+	_, out := d.Snapshot()
+	if out != (uint64(1)<<60)|(uint64(1)<<61)|(uint64(1)<<62) {
+		t.Fatalf("out=%x; the three lowest of the four requested bits must win", out)
+	}
+}

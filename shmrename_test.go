@@ -1,0 +1,167 @@
+package shmrename
+
+import (
+	"testing"
+)
+
+func TestRenameAllAlgorithmsSimulated(t *testing.T) {
+	for _, algo := range Algorithms() {
+		cfg := Config{N: 128, Algorithm: algo, Seed: 7, Simulate: true}
+		res, err := Rename(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		named := 0
+		for _, name := range res.Names {
+			if name >= 0 {
+				named++
+			}
+		}
+		switch algo {
+		case LooseRounds, LooseClusters:
+			// Almost-tight: survivors allowed.
+			if named+res.Survivors != 128 {
+				t.Fatalf("%s: named %d + survivors %d != n", algo, named, res.Survivors)
+			}
+		default:
+			if named != 128 {
+				t.Fatalf("%s: only %d named", algo, named)
+			}
+		}
+		if res.MaxSteps < 1 {
+			t.Fatalf("%s: no steps recorded", algo)
+		}
+		if res.Algorithm == "" {
+			t.Fatalf("%s: empty label", algo)
+		}
+	}
+}
+
+func TestRenameDeterministicWhenSimulated(t *testing.T) {
+	run := func() *Result {
+		res, err := Rename(Config{N: 100, Algorithm: TightTau, Seed: 3, Simulate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for pid := range a.Names {
+		if a.Names[pid] != b.Names[pid] || a.Steps[pid] != b.Steps[pid] {
+			t.Fatalf("pid %d differs across identical runs", pid)
+		}
+	}
+}
+
+func TestRenameNative(t *testing.T) {
+	res, err := Rename(Config{N: 256, Algorithm: TightTau, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for pid, name := range res.Names {
+		if name < 0 || name >= 256 {
+			t.Fatalf("pid %d: name %d", pid, name)
+		}
+	}
+}
+
+func TestRenameSchedules(t *testing.T) {
+	for _, schedule := range []string{"", "fifo", "random", "round-robin", "collider", "starve"} {
+		res, err := Rename(Config{
+			N: 64, Algorithm: Corollary7, Seed: 9, Simulate: true, Schedule: schedule,
+		})
+		if err != nil {
+			t.Fatalf("schedule %q: %v", schedule, err)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("schedule %q: %v", schedule, err)
+		}
+	}
+}
+
+func TestRenameWithCrashes(t *testing.T) {
+	res, err := Rename(Config{
+		N: 100, Algorithm: TightTau, Seed: 13,
+		Simulate: true, CrashFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed == 0 {
+		t.Fatal("no crashes with CrashFraction 0.3")
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	named := 0
+	for _, n := range res.Names {
+		if n >= 0 {
+			named++
+		}
+	}
+	if named+res.Crashed != 100 {
+		t.Fatalf("named %d + crashed %d != 100", named, res.Crashed)
+	}
+}
+
+func TestRenameLooseSpaceSizes(t *testing.T) {
+	res7, err := Rename(Config{N: 1 << 12, Algorithm: Corollary7, Ell: 2, Seed: 1, Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res7.M <= 1<<12 {
+		t.Fatalf("corollary7 m = %d, want > n", res7.M)
+	}
+	// At equal ℓ the Corollary 9 overflow 2n/(log n)^ℓ is far below the
+	// Corollary 7 overflow 2n/(log log n)^ℓ.
+	res9, err := Rename(Config{N: 1 << 12, Algorithm: Corollary9, Ell: 2, Seed: 1, Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res9.M <= 1<<12 || res9.M >= res7.M {
+		t.Fatalf("corollary9 m = %d (corollary7 m = %d)", res9.M, res7.M)
+	}
+}
+
+func TestRenameConfigErrors(t *testing.T) {
+	cases := []Config{
+		{N: 0},
+		{N: 4, Algorithm: "nope", Simulate: true},
+		{N: 4, Simulate: true, Schedule: "warp"},
+		{N: 4, CrashFraction: 0.5},                  // crashes need Simulate
+		{N: 4, Simulate: true, CrashFraction: -0.1}, // out of range
+		{N: 1, Algorithm: LooseClusters, Simulate: true},
+	}
+	for i, cfg := range cases {
+		if _, err := Rename(cfg); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	r := &Result{M: 4, Names: []int{0, 0}}
+	if r.Verify() == nil {
+		t.Fatal("duplicate not detected")
+	}
+	r = &Result{M: 4, Names: []int{5}}
+	if r.Verify() == nil {
+		t.Fatal("out of range not detected")
+	}
+	r = &Result{M: 4, Names: []int{1, -1, 2}}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+}
+
+func TestAlgorithmsListStable(t *testing.T) {
+	if len(Algorithms()) != 9 {
+		t.Fatalf("Algorithms() = %v", Algorithms())
+	}
+}
