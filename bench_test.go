@@ -161,7 +161,7 @@ func BenchmarkE8Comparison(b *testing.B) {
 	const n = 1 << 12
 	b.Run("tight-tau", func(b *testing.B) {
 		nativeBench(b, func() core.Instance {
-			return core.NewTight(n, core.TightConfig{SelfClocked: true})
+			return core.NewTight(n, core.TightConfig{SelfClocked: true, Padded: true})
 		})
 	})
 	b.Run("sortnet-batcher", func(b *testing.B) {
@@ -272,7 +272,7 @@ func BenchmarkTightNative(b *testing.B) {
 	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			nativeBench(b, func() core.Instance {
-				return core.NewTight(n, core.TightConfig{SelfClocked: true})
+				return core.NewTight(n, core.TightConfig{SelfClocked: true, Padded: true})
 			})
 		})
 	}

@@ -25,14 +25,25 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		trials = flag.Int("trials", harness.DefaultTrials, "seeded trials per parameter point")
-		seed   = flag.Uint64("seed", 1, "base seed")
-		full   = flag.Bool("full", false, "full report-scale sweeps")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		trials  = flag.Int("trials", harness.DefaultTrials, "seeded trials per parameter point")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		full    = flag.Bool("full", false, "full report-scale sweeps")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		bench1  = flag.String("bench1", "", "write the BENCH_1.json perf trajectory to this path and exit")
+		bench1N = flag.Int("bench1-maxexp", 20, "largest log2(n) for -bench1 sweeps")
 	)
 	flag.Parse()
+
+	if *bench1 != "" {
+		if err := runBench1(*bench1, *seed, *bench1N); err != nil {
+			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench1 trajectory written to %s\n", *bench1)
+		return
+	}
 
 	if *list {
 		for _, e := range harness.All() {

@@ -37,4 +37,22 @@
 // simulator and choose a Schedule ("fifo", "random", "round-robin",
 // "collider", "starve") and a CrashFraction; leave it false to run on
 // real goroutines with sync/atomic test-and-set.
+//
+// # Execution modes and cost model
+//
+// Both modes share all algorithm and substrate code; only the per-step
+// transport differs (PERF.md has the measured numbers):
+//
+//   - Simulated mode: each process is a pull-style coroutine; a granted
+//     step is two coroutine stack switches with no channel operations and
+//     no per-step allocation. Executions are deterministic given (seed,
+//     schedule). Operation descriptors address shared structures by
+//     interned integer SpaceIDs, never strings.
+//   - Native mode: processes are goroutines hitting sync/atomic directly;
+//     a step is one atomic operation on the target structure.
+//
+// Name spaces are word-packed test-and-set bitmaps (64 names per word, one
+// bit per name, CAS-on-word claims). Native-mode instances can opt into a
+// cache-line-padded layout (one word per 64-byte line) to avoid false
+// sharing between concurrent claimers.
 package shmrename

@@ -1,0 +1,3 @@
+module shmrename
+
+go 1.24

@@ -18,7 +18,14 @@ type TightConfig struct {
 	Geometry GeometryKind
 	// SelfClocked builds self-clocked counting devices for native runs.
 	// Leave false for simulated runs (the scheduler ticks the clock).
+	// Simulated runs may also use self-clocked devices (observably
+	// equivalent, cheaper).
 	SelfClocked bool
+	// Padded lays the name bitmap out one word per cache line. Set it for
+	// native runs on real cores, where concurrent claimers would
+	// false-share packed bitmap words; leave it false for simulated runs,
+	// where the packed layout is smaller and cache-friendlier.
+	Padded bool
 }
 
 func (c *TightConfig) fill() {
@@ -55,10 +62,14 @@ type Tight struct {
 func NewTight(n int, cfg TightConfig) *Tight {
 	cfg.fill()
 	geo := NewGeometry(n, cfg.C, cfg.Geometry)
+	mkArray := taureg.NewArray
+	if cfg.Padded {
+		mkArray = taureg.NewArrayPadded
+	}
 	t := &Tight{
 		cfg:         cfg,
 		geo:         geo,
-		arr:         taureg.NewArray("taux", geo.Width, geo.Specs, cfg.SelfClocked),
+		arr:         mkArray("taux", geo.Width, geo.Specs, cfg.SelfClocked),
 		clusterWins: make([]atomic.Int64, len(geo.Clusters)),
 	}
 	return t

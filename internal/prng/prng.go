@@ -68,8 +68,18 @@ func (r *Rand) Split(index uint64) *Rand {
 // It is a convenience wrapper used by the runners: every process id gets an
 // independent stream regardless of scheduling order.
 func NewStream(seed uint64, id int) *Rand {
+	var r Rand
+	r.SeedStream(seed, id)
+	return &r
+}
+
+// SeedStream resets r to the canonical per-process stream for (seed, id):
+// the in-place, allocation-free equivalent of NewStream. Runners that
+// batch-allocate generator state (one slice for all processes) use it to
+// avoid a heap allocation per process.
+func (r *Rand) SeedStream(seed uint64, id int) {
 	sm := seed ^ (uint64(id)+1)*0xd1342543de82ef95
-	return New(SplitMix64(&sm))
+	r.Seed(SplitMix64(&sm))
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -67,8 +67,8 @@ func (collider) Next(w World, pending []Request, r *prng.Rand) Decision {
 	// 2. Otherwise schedule the largest group of colliding TAS targets,
 	// lowest PID first; the first grant makes the rest doomed.
 	type key struct {
-		space string
-		index int
+		space shm.SpaceID
+		index int32
 	}
 	counts := make(map[key]int)
 	for _, req := range pending {

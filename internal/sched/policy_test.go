@@ -47,7 +47,7 @@ func TestColliderGroupsContention(t *testing.T) {
 	// No doomed op pending: the collider must pick from the largest
 	// group of colliding TAS targets.
 	p := Collider()
-	op := func(i int) shm.Op { return shm.Op{Kind: shm.OpTAS, Space: "s", Index: i} }
+	op := func(i int32) shm.Op { return shm.Op{Kind: shm.OpTAS, Space: shm.InternSpace("s"), Index: i} }
 	pending := []Request{
 		{PID: 0, Op: op(3)},
 		{PID: 1, Op: op(7)},
@@ -65,8 +65,8 @@ func TestColliderPrefersReadsLast(t *testing.T) {
 	// With only reads pending, the collider still returns a valid index.
 	p := Collider()
 	pending := []Request{
-		{PID: 0, Op: shm.Op{Kind: shm.OpRead, Space: "s", Index: 1}},
-		{PID: 1, Op: shm.Op{Kind: shm.OpRead, Space: "s", Index: 2}},
+		{PID: 0, Op: shm.Op{Kind: shm.OpRead, Space: shm.InternSpace("s"), Index: 1}},
+		{PID: 1, Op: shm.Op{Kind: shm.OpRead, Space: shm.InternSpace("s"), Index: 2}},
 	}
 	d := p.Next(fixedWorld{}, pending, prng.New(1))
 	if d.Index < 0 || d.Index >= len(pending) {

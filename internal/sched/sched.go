@@ -1,16 +1,26 @@
 // Package sched simulates the asynchronous shared-memory model of §II.A of
 // the paper and provides the adaptive adversary that controls it.
 //
-// In simulated mode every process runs as a goroutine, but each of its
-// shared-memory operations first blocks on a scheduler gate. The scheduler
-// waits until every live process is parked on its next operation, hands the
-// full pending set (operation kinds and targets, which embody the process
-// coin flips) to a Policy — the adversary — and grants exactly one
-// operation. The adversary may instead crash the process, after which it
-// takes no further steps. Executions are therefore deterministic given
-// (seed, policy), and the adversary enjoys the full adaptivity the model
-// grants: it sees the state of all processes before every scheduling
-// decision.
+// In simulated mode every process runs as a pull-style coroutine
+// (iter.Pull); each of its shared-memory operations yields to the
+// scheduler. The scheduler waits until every live process is parked on its
+// next operation, hands the full pending set (operation kinds and targets,
+// which embody the process coin flips) to a Policy — the adversary — and
+// grants exactly one operation by resuming that process's coroutine. The
+// adversary may instead crash the process, after which it takes no further
+// steps. Executions are therefore deterministic given (seed, policy), and
+// the adversary enjoys the full adaptivity the model grants: it sees the
+// state of all processes before every scheduling decision.
+//
+// Cost model (see PERF.md for measurements): a granted step is two
+// coroutine switches — resume into the process, yield back at its next
+// operation — with no channel operations, no goroutine scheduler
+// involvement, and no allocation. The policy path keeps a dense PID-indexed
+// slot array plus an incrementally maintained pending view: re-parking the
+// granted process is an O(1) in-place update, and the only O(live) work is
+// the single removal when a process finishes, which happens once per
+// process per run. Earlier revisions parked processes on per-step channel
+// round-trips; the coroutine runner removed that constant entirely.
 //
 // The package also provides a native runner that executes the same process
 // bodies on real goroutines with no gating, for wall-clock benchmarks.
@@ -18,6 +28,7 @@ package sched
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"sync"
 
@@ -105,8 +116,8 @@ type Policy interface {
 
 // FastMode selects a cheap built-in schedule instead of a Policy for
 // large-n measurements. The adaptive Policy path materializes the full
-// pending set before every grant (O(n log n) per step); the fast modes
-// keep O(1) bookkeeping per grant and remain deterministic.
+// pending set before every grant; the fast modes keep O(1) bookkeeping per
+// grant and remain deterministic.
 type FastMode uint8
 
 // Fast scheduling modes.
@@ -144,7 +155,9 @@ type Config struct {
 	// safety budget (DefaultStepLimit).
 	StepLimit int64
 	// Spaces registers Probeable structures by label so adaptive policies
-	// can inspect targets. Optional.
+	// can inspect targets. The labels are resolved to interned SpaceIDs
+	// once at run start; per-step lookups are dense array indexing.
+	// Optional.
 	Spaces map[string]shm.Probeable
 }
 
@@ -153,37 +166,156 @@ type Config struct {
 // process hitting it indicates a non-terminating execution.
 const DefaultStepLimit = 1 << 22
 
-type reqMsg struct {
-	pid   int
-	op    shm.Op
-	steps int64
-	grant chan bool
+// procRunner drives one simulated process as a pull-style coroutine.
+// Exactly one of the scheduler and the process executes at any time;
+// resuming the runner is a direct stack switch, not a goroutine wakeup.
+// It doubles as the process's shm.Gate. The yield token is zero-sized: the
+// parked operation is published through the op/steps fields, which the
+// strict scheduler/process alternation keeps race-free.
+type procRunner struct {
+	next  func() (struct{}, bool)
+	yield func(struct{}) bool
+	op    shm.Op // pending operation, valid while parked
+	steps int64  // steps taken when parked
+	// allow is the scheduler's answer to the pending park: written before
+	// the resume, read by Await when its yield returns.
+	allow bool
+	// credit is a batch of pre-granted steps: while positive, Await
+	// consumes a credit and proceeds without yielding. The fast schedules
+	// use it when exactly one live process remains — every remaining grant
+	// must go to it anyway, so the tail runs without coroutine switches.
+	credit int64
+	res    Result
 }
 
-type doneMsg struct {
-	res Result
+// procState bundles everything one simulated process needs. One slice per
+// run holds all of it, and the slices are recycled through a pool: at large
+// n the per-run garbage would otherwise dominate GC work.
+type procState struct {
+	runner procRunner
+	proc   shm.Proc
+	rng    prng.Rand
 }
 
-type simGate struct {
-	reqCh chan reqMsg
-	grant chan bool
+var statePool sync.Pool // of *[]procState
+
+// getStates returns a pooled state slice of length n (contents dirty; every
+// field is re-initialized by the caller via initRunner/Init/SeedStream).
+func getStates(n int) []procState {
+	if v := statePool.Get(); v != nil {
+		if s := *v.(*[]procState); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]procState, n)
 }
 
-func (g *simGate) Await(p *shm.Proc, op shm.Op) bool {
-	g.reqCh <- reqMsg{pid: p.ID(), op: op, steps: p.Steps(), grant: g.grant}
-	return <-g.grant
+// putStates recycles a state slice once its run has fully finished (every
+// coroutine exhausted, results copied out). The exhausted coroutine
+// closures are dropped first: they captured the run's Body (usually a
+// whole algorithm instance), which must not stay reachable from the pool.
+func putStates(s []procState) {
+	for i := range s {
+		s[i].runner.next = nil
+		s[i].runner.yield = nil
+		s[i].proc = shm.Proc{}
+	}
+	statePool.Put(&s)
 }
 
+// Await implements shm.Gate by yielding to the scheduler.
+func (r *procRunner) Await(p *shm.Proc, op shm.Op) bool {
+	if r.credit > 0 {
+		r.credit--
+		return true
+	}
+	r.op, r.steps = op, p.Steps()
+	if !r.yield(struct{}{}) {
+		// Defensive: iter.Pull's yield reports false only after a stop(),
+		// which the runner never issues for a live coroutine. If that ever
+		// changes, unwinding as a crash keeps the deferred recovery able
+		// to record a result.
+		panic(shm.Crash{PID: p.ID()})
+	}
+	return r.allow
+}
+
+// initRunner builds the coroutine for one process, resetting every runner
+// field (the state may be recycled from a previous run). The body does not
+// start executing until the first next() call.
+func initRunner(r *procRunner, pid int, p *shm.Proc, body Body) {
+	r.yield = nil
+	r.op = shm.Op{}
+	r.steps = 0
+	r.allow = false
+	r.credit = 0
+	r.res = Result{}
+	r.next, _ = iter.Pull(func(yield func(struct{}) bool) {
+		r.yield = yield
+		res := Result{PID: pid, Name: -1}
+		defer func() {
+			if rec := recover(); rec != nil {
+				switch rec.(type) {
+				case shm.Crash:
+					res.Status = Crashed
+				case shm.StepLimit:
+					res.Status = Limited
+				default:
+					panic(rec) // any other panic is a bug: propagate
+				}
+				res.Name = -1
+			}
+			res.Steps = p.Steps()
+			r.res = res
+		}()
+		name := body(p)
+		if name >= 0 {
+			res.Name = name
+			res.Status = Named
+		} else {
+			res.Status = Unnamed
+		}
+	})
+}
+
+// resume grants the process its pending step (allow=false crashes it
+// instead) and runs it to its next transition: parked again on op/steps
+// (ok) or finished (!ok, result in r.res).
+func (r *procRunner) resume(allow bool) bool {
+	r.allow = allow
+	_, ok := r.next()
+	return ok
+}
+
+// worldView resolves Taken probes by dense SpaceID indexing: no string
+// hashing on the adversary's query path.
 type worldView struct {
-	spaces map[string]shm.Probeable
+	spaces []shm.Probeable // indexed by shm.SpaceID
+}
+
+func newWorldView(m map[string]shm.Probeable) worldView {
+	w := worldView{spaces: make([]shm.Probeable, shm.NumSpaces())}
+	for label, p := range m {
+		id := shm.InternSpace(label)
+		if int(id) >= len(w.spaces) {
+			grown := make([]shm.Probeable, int(id)+1)
+			copy(grown, w.spaces)
+			w.spaces = grown
+		}
+		w.spaces[id] = p
+	}
+	return w
 }
 
 func (w worldView) Taken(op shm.Op) bool {
-	s, ok := w.spaces[op.Space]
-	if !ok {
+	if op.Space < 0 || int(op.Space) >= len(w.spaces) {
 		return false
 	}
-	return s.Probe(op.Index)
+	s := w.spaces[op.Space]
+	if s == nil {
+		return false
+	}
+	return s.Probe(int(op.Index))
 }
 
 // Run executes a simulated run and returns one Result per process, sorted
@@ -200,17 +332,18 @@ func Run(cfg Config) []Result {
 		limit = DefaultStepLimit
 	}
 
-	reqCh := make(chan reqMsg)
-	doneCh := make(chan doneMsg)
-
-	for pid := 0; pid < cfg.N; pid++ {
-		gate := &simGate{reqCh: reqCh, grant: make(chan bool)}
-		p := shm.NewProc(pid, prng.NewStream(cfg.Seed, pid), gate, limit)
-		go runProcess(p, cfg.Body, doneCh)
+	states := getStates(cfg.N)
+	for pid := range states {
+		st := &states[pid]
+		st.rng.SeedStream(cfg.Seed, pid)
+		st.proc.Init(pid, &st.rng, &st.runner, limit)
+		initRunner(&st.runner, pid, &st.proc, cfg.Body)
 	}
 
 	if cfg.Policy == nil && cfg.Fast != FastOff {
-		return runFast(cfg, reqCh, doneCh)
+		res := runFast(cfg, states)
+		putStates(states)
+		return res
 	}
 	policy := cfg.Policy
 	if policy == nil {
@@ -218,120 +351,135 @@ func Run(cfg Config) []Result {
 	}
 
 	policyRand := prng.NewStream(cfg.Seed, -7)
-	world := worldView{spaces: cfg.Spaces}
-	// pending stays sorted by PID; view is its policy-facing mirror,
-	// reused across grants to avoid per-step allocation.
-	pending := make([]reqMsg, 0, cfg.N)
-	view := make([]Request, 0, cfg.N)
-	results := make([]Result, 0, cfg.N)
-	executing := cfg.N // processes currently running between grants
+	world := newWorldView(cfg.Spaces)
 
-	absorb := func() {
-		select {
-		case m := <-reqCh:
-			i := sort.Search(len(pending), func(i int) bool { return pending[i].pid >= m.pid })
-			pending = append(pending, reqMsg{})
-			copy(pending[i+1:], pending[i:])
-			pending[i] = m
-			executing--
-		case d := <-doneCh:
-			results = append(results, d.res)
-			executing--
+	// view is the policy-facing pending set, always sorted by PID (the
+	// initial activation below runs in PID order and updates preserve
+	// order); pos[pid] is pid's index in view or -1. Re-parking the
+	// granted process is an O(1) in-place update; the only O(live)
+	// operation is the removal when a process finishes, once per process
+	// per run — there is no per-step O(n) copy.
+	var (
+		view    = make([]Request, 0, cfg.N)
+		pos     = make([]int32, cfg.N)
+		results = make([]Result, 0, cfg.N)
+	)
+	for pid := range states {
+		// First activation: run the process to its first operation. Its
+		// target depends only on private state (every shared access parks
+		// first), so activating in PID order is equivalent to the
+		// settle-then-sort of a concurrent start.
+		r := &states[pid].runner
+		if _, parked := r.next(); parked {
+			pos[pid] = int32(len(view))
+			view = append(view, Request{PID: pid, Op: r.op, Steps: r.steps})
+		} else {
+			pos[pid] = -1
+			results = append(results, r.res)
+		}
+	}
+
+	remove := func(pid int) {
+		i := int(pos[pid])
+		copy(view[i:], view[i+1:])
+		view = view[:len(view)-1]
+		pos[pid] = -1
+		for j := i; j < len(view); j++ {
+			pos[view[j].PID] = int32(j)
 		}
 	}
 
 	for len(results) < cfg.N {
-		// Let every executing process settle: it either parks on its next
-		// operation or finishes. Only then does the adversary decide,
-		// with full knowledge of all pending operations.
-		for executing > 0 {
-			absorb()
-		}
-		if len(results) == cfg.N {
-			break
-		}
-		view = view[:0]
-		for _, m := range pending {
-			view = append(view, Request{PID: m.pid, Op: m.op, Steps: m.steps})
-		}
 		dec := policy.Next(world, view, policyRand)
 		if dec.Index < 0 || dec.Index >= len(view) {
 			panic(fmt.Sprintf("sched: policy %q returned index %d out of range [0,%d)",
 				policy.Name(), dec.Index, len(view)))
 		}
-		chosen := pending[dec.Index]
-		pending = append(pending[:dec.Index], pending[dec.Index+1:]...)
-		executing++
-		chosen.grant <- !dec.Crash
+		pid := view[dec.Index].PID
+		r := &states[pid].runner
+		if r.resume(!dec.Crash) {
+			view[pos[pid]] = Request{PID: pid, Op: r.op, Steps: r.steps}
+		} else {
+			results = append(results, r.res)
+			remove(pid)
+		}
 		if cfg.AfterStep != nil && !dec.Crash {
-			// The granted operation completes before the process either
-			// parks again or finishes; both transitions pass through the
-			// channels above. To keep the hardware hook ordered with the
-			// operation, absorb that one transition first.
-			absorb()
+			// The granted operation completed before the process parked
+			// again or finished, so the hardware hook is ordered after it.
 			cfg.AfterStep()
 		}
 	}
 
 	sort.Slice(results, func(i, j int) bool { return results[i].PID < results[j].PID })
+	putStates(states)
 	return results
 }
 
 // runFast is the O(1)-per-grant scheduling loop used by FastFIFO and
-// FastRandom. The initial batch of requests (whose arrival order is racy)
-// is sorted by PID once; afterwards exactly one process transitions at a
-// time, so the execution is deterministic given the seed.
-func runFast(cfg Config, reqCh chan reqMsg, doneCh chan doneMsg) []Result {
+// FastRandom. The queue holds bare PIDs — the fast schedules are oblivious
+// to operation targets — and the FIFO path is a direct handoff: grant,
+// stack-switch into the process, read its transition, re-enqueue.
+func runFast(cfg Config, states []procState) []Result {
 	var (
-		queue     []reqMsg
-		head      int
-		results   = make([]Result, 0, cfg.N)
-		executing = cfg.N
-		first     = true
-		rng       = prng.NewStream(cfg.Seed, -7)
+		queue   = make([]int32, 0, cfg.N)
+		head    = 0
+		grants  = 0
+		results = make([]Result, 0, cfg.N)
+		rng     = prng.NewStream(cfg.Seed, -7)
 	)
-	absorb := func() {
-		select {
-		case m := <-reqCh:
-			queue = append(queue, m)
-			executing--
-		case d := <-doneCh:
-			results = append(results, d.res)
-			executing--
+
+	if cfg.Fast == FastFIFO {
+		// Lazy start: the FIFO schedule's first round is PIDs 0..N-1
+		// regardless of operation targets, so processes are not activated
+		// up front. A process's first grant instead carries one step of
+		// credit, merging its activation with its first granted operation
+		// in a single resume — two coroutine switches saved per process.
+		// The grant order of shared-memory operations is identical to an
+		// eager settle-then-grant schedule.
+		for pid := range states {
+			queue = append(queue, int32(pid))
+		}
+	} else {
+		for pid := range states {
+			if _, parked := states[pid].runner.next(); parked {
+				queue = append(queue, int32(pid))
+			} else {
+				results = append(results, states[pid].runner.res)
+			}
 		}
 	}
+
 	for len(results) < cfg.N {
-		for executing > 0 {
-			absorb()
-		}
-		if len(results) == cfg.N {
-			break
-		}
-		if first {
-			sort.Slice(queue, func(i, j int) bool { return queue[i].pid < queue[j].pid })
-			first = false
-		}
-		var chosen reqMsg
+		var pid int32
 		switch cfg.Fast {
 		case FastFIFO:
-			chosen = queue[head]
+			pid = queue[head]
 			head++
-			if head >= 1024 && head*2 >= len(queue) {
-				queue = append(queue[:0], queue[head:]...)
-				head = 0
-			}
+			queue = compactFIFO(queue, &head)
 		case FastRandom:
 			idx := head + rng.Intn(len(queue)-head)
-			chosen = queue[idx]
+			pid = queue[idx]
 			queue[idx] = queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
 		default:
 			panic("sched: unknown fast mode")
 		}
-		executing++
-		chosen.grant <- true
+		r := &states[pid].runner
+		if cfg.AfterStep == nil && head == len(queue) {
+			// Sole live process: the rest of the schedule is all its, so
+			// run it to completion in one resume (only when no per-step
+			// hook must fire).
+			r.credit = int64(^uint64(0) >> 1)
+		} else if cfg.Fast == FastFIFO && grants < cfg.N {
+			r.credit = 1 // lazy start: activation + first operation
+		}
+		grants++
+		if r.resume(true) {
+			queue = append(queue, pid)
+		} else {
+			results = append(results, r.res)
+		}
 		if cfg.AfterStep != nil {
-			absorb()
 			cfg.AfterStep()
 		}
 	}
@@ -339,32 +487,26 @@ func runFast(cfg Config, reqCh chan reqMsg, doneCh chan doneMsg) []Result {
 	return results
 }
 
-// runProcess executes body for p, translating the kernel's crash and
-// step-limit panics into results. Any other panic propagates: it is a bug.
-func runProcess(p *shm.Proc, body Body, doneCh chan doneMsg) {
-	res := Result{PID: p.ID(), Name: -1}
-	defer func() {
-		if r := recover(); r != nil {
-			switch r.(type) {
-			case shm.Crash:
-				res.Status = Crashed
-			case shm.StepLimit:
-				res.Status = Limited
-			default:
-				panic(r)
-			}
-			res.Name = -1
-		}
-		res.Steps = p.Steps()
-		doneCh <- doneMsg{res: res}
-	}()
-	name := body(p)
-	if name >= 0 {
-		res.Name = name
-		res.Status = Named
-	} else {
-		res.Status = Unnamed
+// compactFIFO reclaims the consumed prefix of the FIFO queue once it
+// dominates the backing array. When the live tail has shrunk well below the
+// high-water mark, it reallocates instead of shifting in place, so the
+// peak-sized backing array does not stay pinned for the rest of the run.
+func compactFIFO(queue []int32, head *int) []int32 {
+	h := *head
+	if h < 1024 || h*2 < len(queue) {
+		return queue
 	}
+	live := len(queue) - h
+	if cap(queue) >= 4096 && cap(queue) >= 4*live {
+		fresh := make([]int32, live, 2*live+1)
+		copy(fresh, queue[h:])
+		queue = fresh
+	} else {
+		copy(queue, queue[h:])
+		queue = queue[:live]
+	}
+	*head = 0
+	return queue
 }
 
 // RunNative executes the same body on real goroutines with no gating and
@@ -414,7 +556,10 @@ func RunNative(n int, seed uint64, body Body) []Result {
 // distinct names within [0, m). It returns an error describing the first
 // violation, or nil. Post-run verification used by tests and the harness.
 func VerifyUnique(results []Result, m int) error {
-	owner := make(map[int]int, len(results))
+	owner := make([]int, m)
+	for i := range owner {
+		owner[i] = -1
+	}
 	for _, r := range results {
 		if r.Status != Named {
 			continue
@@ -422,7 +567,7 @@ func VerifyUnique(results []Result, m int) error {
 		if r.Name < 0 || r.Name >= m {
 			return fmt.Errorf("process %d holds out-of-range name %d (space size %d)", r.PID, r.Name, m)
 		}
-		if prev, dup := owner[r.Name]; dup {
+		if prev := owner[r.Name]; prev >= 0 {
 			return fmt.Errorf("name %d held by both process %d and process %d", r.Name, prev, r.PID)
 		}
 		owner[r.Name] = r.PID

@@ -1,0 +1,146 @@
+package shm
+
+import (
+	"sync"
+	"testing"
+
+	"shmrename/internal/prng"
+)
+
+// TestPackedTryClaimStorm is the word-packed bitmap's concurrency contract:
+// many goroutines hammer TryClaim on a space whose names share words, and
+// every name must be won exactly once. Run it under -race; the CAS-on-word
+// loop must neither lose claims (a name nobody wins) nor double-grant one.
+func TestPackedTryClaimStorm(t *testing.T) {
+	for _, layout := range []struct {
+		name string
+		mk   func(string, int) *NameSpace
+	}{
+		{"packed", NewNameSpace},
+		{"padded", NewNameSpacePadded},
+	} {
+		t.Run(layout.name, func(t *testing.T) {
+			// 130 names: three words (two full, one partial) in the packed
+			// layout, so word-sharing and the tail word are both exercised.
+			const procs, names = 16, 130
+			s := layout.mk("storm-"+layout.name, names)
+			winners := make([][]int, procs)
+			var wg sync.WaitGroup
+			for pid := 0; pid < procs; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					p := NewProc(pid, prng.NewStream(11, pid), nil, 0)
+					// Each goroutine probes every name in a seeded order so
+					// claims on the same word collide constantly.
+					order := p.Rand().Perm(names)
+					for _, i := range order {
+						if s.TryClaim(p, i) {
+							winners[pid] = append(winners[pid], i)
+						}
+					}
+				}(pid)
+			}
+			wg.Wait()
+			owner := make([]int, names)
+			for i := range owner {
+				owner[i] = -1
+			}
+			total := 0
+			for pid, ws := range winners {
+				for _, name := range ws {
+					if prev := owner[name]; prev >= 0 {
+						t.Fatalf("name %d won by both %d and %d", name, prev, pid)
+					}
+					owner[name] = pid
+					total++
+				}
+			}
+			if total != names {
+				t.Fatalf("%d names claimed, want %d (a claim was lost)", total, names)
+			}
+			if got := s.CountClaimed(); got != names {
+				t.Fatalf("CountClaimed = %d, want %d", got, names)
+			}
+		})
+	}
+}
+
+// TestBitmapProbeCountConsistency checks the packed bitmap against the old
+// bool-per-name semantics: after an arbitrary claim pattern, Probe answers
+// per-name membership and CountClaimed equals the pattern's cardinality,
+// across word boundaries and for both layouts.
+func TestBitmapProbeCountConsistency(t *testing.T) {
+	sizes := []int{1, 7, 63, 64, 65, 128, 130, 1000}
+	for _, size := range sizes {
+		for _, padded := range []bool{false, true} {
+			mk := NewNameSpace
+			if padded {
+				mk = NewNameSpacePadded
+			}
+			s := mk("consist", size)
+			p := NewProc(0, prng.New(uint64(size)), nil, 0)
+			want := make(map[int]bool)
+			r := p.Rand()
+			for k := 0; k < 3*size; k++ {
+				i := r.Intn(size)
+				won := s.TryClaim(p, i)
+				if won == want[i] {
+					t.Fatalf("size %d padded %v: TryClaim(%d) = %v with prior claim %v",
+						size, padded, i, won, want[i])
+				}
+				want[i] = true
+			}
+			for i := 0; i < size; i++ {
+				if s.Probe(i) != want[i] {
+					t.Fatalf("size %d padded %v: Probe(%d) = %v, want %v",
+						size, padded, i, s.Probe(i), want[i])
+				}
+				if s.Claimed(p, i) != want[i] {
+					t.Fatalf("size %d padded %v: Claimed(%d) mismatch", size, padded, i)
+				}
+			}
+			if got := s.CountClaimed(); got != len(want) {
+				t.Fatalf("size %d padded %v: CountClaimed = %d, want %d",
+					size, padded, got, len(want))
+			}
+			s.Reset()
+			if got := s.CountClaimed(); got != 0 {
+				t.Fatalf("size %d padded %v: CountClaimed after Reset = %d", size, padded, got)
+			}
+		}
+	}
+}
+
+// TestBitmapOutOfRangePanics pins the bounds contract: the packed layout
+// must not let an out-of-range index silently claim tail-word slack bits.
+func TestBitmapOutOfRangePanics(t *testing.T) {
+	s := NewNameSpace("oob", 70) // two words, 58 slack bits in the tail
+	p := NewProc(0, prng.New(1), nil, 0)
+	for _, i := range []int{-1, 70, 127} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("TryClaim(%d) on size-70 space did not panic", i)
+				}
+			}()
+			s.TryClaim(p, i)
+		}()
+	}
+}
+
+// TestBitmapMemoryFootprint pins the tentpole's space win: a 2^20-name
+// packed space stores one bit per name (plus a constant), 8x below the old
+// byte-per-name layout.
+func TestBitmapMemoryFootprint(t *testing.T) {
+	const m = 1 << 20
+	s := NewNameSpace("foot", m)
+	words := len(s.words)
+	if want := m / 64; words != want {
+		t.Fatalf("2^20-name packed space uses %d words, want %d", words, want)
+	}
+	// 8 bytes per word: 128 KiB total, vs 1 MiB for []atomic.Bool.
+	if bytes := words * 8; bytes*4 > m {
+		t.Fatalf("packed space uses %d bytes for %d names: less than 4x under byte-per-name", bytes, m)
+	}
+}

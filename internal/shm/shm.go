@@ -18,10 +18,17 @@
 // Step accounting: one call to Proc.Step is one access to shared memory,
 // matching the paper's definition of step complexity (the maximum number of
 // shared-memory accesses performed by any process).
+//
+// Hot-path addressing: operations identify their target structure by an
+// interned integer SpaceID, never by string. Structures intern their label
+// once at construction; traces and adversaries translate IDs back to labels
+// through the registry when (and only when) they need human-readable names.
 package shm
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"shmrename/internal/prng"
@@ -52,17 +59,79 @@ func (k OpKind) String() string {
 	}
 }
 
-// Op describes one shared-memory operation: which structure is accessed
-// (Space, a label chosen by the structure) and the address within it.
-type Op struct {
-	Kind  OpKind
-	Space string
-	Index int
+// SpaceID is an interned operation-space identifier. IDs are small dense
+// integers handed out by InternSpace, so schedulers and adversaries can use
+// them as direct array indices instead of hashing strings on every step.
+type SpaceID int32
+
+// NoSpace is an invalid sentinel SpaceID. InternSpace never returns it;
+// note that a zero-valued Op carries Space 0, which IS a valid interned ID
+// (the first label registered), so "unset" checks must compare against
+// NoSpace explicitly, never against the zero value.
+const NoSpace SpaceID = -1
+
+// spaceRegistry maps labels to dense IDs and back. Interning happens at
+// structure-construction time, never on the per-step hot path.
+var spaceRegistry = struct {
+	mu     sync.RWMutex
+	ids    map[string]SpaceID
+	labels []string
+}{ids: make(map[string]SpaceID)}
+
+// InternSpace returns the stable SpaceID for a label, allocating one the
+// first time the label is seen. Equal labels always map to the same ID for
+// the lifetime of the process.
+func InternSpace(label string) SpaceID {
+	spaceRegistry.mu.RLock()
+	id, ok := spaceRegistry.ids[label]
+	spaceRegistry.mu.RUnlock()
+	if ok {
+		return id
+	}
+	spaceRegistry.mu.Lock()
+	defer spaceRegistry.mu.Unlock()
+	if id, ok := spaceRegistry.ids[label]; ok {
+		return id
+	}
+	id = SpaceID(len(spaceRegistry.labels))
+	spaceRegistry.ids[label] = id
+	spaceRegistry.labels = append(spaceRegistry.labels, label)
+	return id
 }
 
-// String formats the operation as kind@space[index].
+// SpaceLabel translates an interned SpaceID back to its label, for traces
+// and reports. Unknown IDs format as "space(<id>)".
+func SpaceLabel(id SpaceID) string {
+	spaceRegistry.mu.RLock()
+	defer spaceRegistry.mu.RUnlock()
+	if id >= 0 && int(id) < len(spaceRegistry.labels) {
+		return spaceRegistry.labels[id]
+	}
+	return fmt.Sprintf("space(%d)", int32(id))
+}
+
+// NumSpaces returns the number of interned labels; IDs lie in [0, NumSpaces).
+// Schedulers size their dense SpaceID-indexed tables with it.
+func NumSpaces() int {
+	spaceRegistry.mu.RLock()
+	defer spaceRegistry.mu.RUnlock()
+	return len(spaceRegistry.labels)
+}
+
+// Op describes one shared-memory operation: which structure is accessed
+// (Space, the structure's interned ID) and the address within it. It is
+// built on every simulated step, so it deliberately carries no pointer or
+// string field: 12 bytes, trivially copyable.
+type Op struct {
+	Kind  OpKind
+	Space SpaceID
+	Index int32
+}
+
+// String formats the operation as kind@space[index], resolving the space
+// label through the registry (not a hot-path method).
 func (o Op) String() string {
-	return fmt.Sprintf("%s@%s[%d]", o.Kind, o.Space, o.Index)
+	return fmt.Sprintf("%s@%s[%d]", o.Kind, SpaceLabel(o.Space), o.Index)
 }
 
 // Gate mediates scheduling in simulated mode. Await blocks until the
@@ -99,7 +168,15 @@ type Proc struct {
 // limit, if positive, bounds the number of steps the process may take
 // before it is unwound with a StepLimit panic.
 func NewProc(id int, rng *prng.Rand, gate Gate, limit int64) *Proc {
-	return &Proc{id: id, rng: rng, gate: gate, limit: limit}
+	p := new(Proc)
+	p.Init(id, rng, gate, limit)
+	return p
+}
+
+// Init resets p in place: the allocation-free equivalent of NewProc for
+// runners that batch-allocate one contexts slice per run.
+func (p *Proc) Init(id int, rng *prng.Rand, gate Gate, limit int64) {
+	*p = Proc{id: id, rng: rng, gate: gate, limit: limit}
 }
 
 // ID returns the process identifier (its original name, in renaming terms).
@@ -163,64 +240,126 @@ type LabeledProbeable interface {
 	Label() string
 }
 
+// wordsPerLine is the padded-layout stride: one occupied 8-byte word per
+// 64-byte cache line, so concurrent CAS traffic on neighbouring words never
+// false-shares a line in native mode.
+const wordsPerLine = 8
+
 // NameSpace is a hardware test-and-set name space: one single-writer TAS
-// register per name, implemented with an atomic CAS, as assumed by the
-// model of §IV ("registers ... on which they can perform TAS operations
-// implemented in hardware"). A TryClaim or Claimed costs exactly one step.
+// register per name, as assumed by the model of §IV ("registers ... on
+// which they can perform TAS operations implemented in hardware"). A
+// TryClaim or Claimed costs exactly one step.
+//
+// Storage is a word-packed bitmap: 64 names per atomic.Uint64, claimed by
+// CAS on the containing word and counted with popcount. The packed layout
+// (NewNameSpace) spends one bit per name — 8x less memory than the earlier
+// byte-per-name layout — and is the right choice for simulated runs, where
+// exactly one operation is in flight at a time. For native runs on real
+// cores, NewNameSpacePadded spreads the words one per cache line to avoid
+// false sharing between adjacent names.
 type NameSpace struct {
-	label string
-	bits  []atomic.Bool
+	label  string
+	id     SpaceID
+	size   int
+	stride int // slots between occupied words: 1 packed, wordsPerLine padded
+	words  []atomic.Uint64
 }
 
 var _ ClaimSpace = (*NameSpace)(nil)
 var _ Probeable = (*NameSpace)(nil)
+var _ LabeledProbeable = (*NameSpace)(nil)
 
-// NewNameSpace returns a name space of m names, all free. The label
-// identifies the space in operation descriptors and traces.
+// NewNameSpace returns a packed name space of m names, all free: 64 names
+// per word. The label identifies the space in operation descriptors and
+// traces; it is interned once, here.
 func NewNameSpace(label string, m int) *NameSpace {
+	return newNameSpace(label, m, 1)
+}
+
+// NewNameSpacePadded returns a name space of m names laid out one word per
+// cache line, for native-mode runs where concurrent processes would
+// otherwise false-share bitmap words. Semantics are identical to
+// NewNameSpace.
+func NewNameSpacePadded(label string, m int) *NameSpace {
+	return newNameSpace(label, m, wordsPerLine)
+}
+
+func newNameSpace(label string, m, stride int) *NameSpace {
 	if m < 0 {
 		panic("shm: negative name space size")
 	}
-	return &NameSpace{label: label, bits: make([]atomic.Bool, m)}
+	nwords := (m + 63) / 64
+	return &NameSpace{
+		label:  label,
+		id:     InternSpace(label),
+		size:   m,
+		stride: stride,
+		words:  make([]atomic.Uint64, nwords*stride),
+	}
 }
 
 // Label returns the space's label.
 func (s *NameSpace) Label() string { return s.label }
 
-// Size returns the number of names.
-func (s *NameSpace) Size() int { return len(s.bits) }
+// ID returns the space's interned operation-space ID.
+func (s *NameSpace) ID() SpaceID { return s.id }
 
-// TryClaim test-and-sets name i. One step.
+// Size returns the number of names.
+func (s *NameSpace) Size() int { return s.size }
+
+// word returns the bitmap word holding name i and i's mask within it.
+func (s *NameSpace) word(i int) (*atomic.Uint64, uint64) {
+	if uint(i) >= uint(s.size) {
+		panic(fmt.Sprintf("shm: name %d outside space %q of %d", i, s.label, s.size))
+	}
+	return &s.words[(i>>6)*s.stride], uint64(1) << (uint(i) & 63)
+}
+
+// TryClaim test-and-sets name i: CAS on the containing bitmap word. One
+// step. Losing the CAS to a concurrent claim of a *different* name in the
+// same word retries; losing bit i itself returns false.
 func (s *NameSpace) TryClaim(p *Proc, i int) bool {
-	p.Step(Op{Kind: OpTAS, Space: s.label, Index: i})
-	return s.bits[i].CompareAndSwap(false, true)
+	w, mask := s.word(i)
+	p.Step(Op{Kind: OpTAS, Space: s.id, Index: int32(i)})
+	for {
+		cur := w.Load()
+		if cur&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(cur, cur|mask) {
+			return true
+		}
+	}
 }
 
 // Claimed reads whether name i is taken. One step.
 func (s *NameSpace) Claimed(p *Proc, i int) bool {
-	p.Step(Op{Kind: OpRead, Space: s.label, Index: i})
-	return s.bits[i].Load()
+	w, mask := s.word(i)
+	p.Step(Op{Kind: OpRead, Space: s.id, Index: int32(i)})
+	return w.Load()&mask != 0
 }
 
 // Probe reports whether name i is taken without spending a process step.
 // It serves the adversary (Probeable) and post-run verification.
-func (s *NameSpace) Probe(i int) bool { return s.bits[i].Load() }
+func (s *NameSpace) Probe(i int) bool {
+	w, mask := s.word(i)
+	return w.Load()&mask != 0
+}
 
-// CountClaimed returns the number of taken names. Not a process step; used
-// by metrics and tests after (or between) runs.
+// CountClaimed returns the number of taken names: one popcount per bitmap
+// word. Not a process step; used by metrics and tests after (or between)
+// runs.
 func (s *NameSpace) CountClaimed() int {
 	c := 0
-	for i := range s.bits {
-		if s.bits[i].Load() {
-			c++
-		}
+	for i := 0; i < len(s.words); i += s.stride {
+		c += bits.OnesCount64(s.words[i].Load())
 	}
 	return c
 }
 
 // Reset frees every name. Only safe when no processes are running.
 func (s *NameSpace) Reset() {
-	for i := range s.bits {
-		s.bits[i].Store(false)
+	for i := 0; i < len(s.words); i += s.stride {
+		s.words[i].Store(0)
 	}
 }

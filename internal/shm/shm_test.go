@@ -139,8 +139,8 @@ func TestGateSeesOperations(t *testing.T) {
 	s.TryClaim(p, 2)
 	s.Claimed(p, 1)
 	want := []Op{
-		{Kind: OpTAS, Space: "reg", Index: 2},
-		{Kind: OpRead, Space: "reg", Index: 1},
+		{Kind: OpTAS, Space: s.ID(), Index: 2},
+		{Kind: OpRead, Space: s.ID(), Index: 1},
 	}
 	if len(g.ops) != len(want) {
 		t.Fatalf("gate saw %d ops, want %d", len(g.ops), len(want))
@@ -153,13 +153,33 @@ func TestGateSeesOperations(t *testing.T) {
 }
 
 func TestOpString(t *testing.T) {
-	op := Op{Kind: OpTAS, Space: "x", Index: 7}
+	op := Op{Kind: OpTAS, Space: InternSpace("x"), Index: 7}
 	if got := op.String(); got != "tas@x[7]" {
 		t.Fatalf("Op.String = %q", got)
 	}
-	op = Op{Kind: OpRead, Space: "y", Index: 0}
+	op = Op{Kind: OpRead, Space: InternSpace("y"), Index: 0}
 	if got := op.String(); got != "read@y[0]" {
 		t.Fatalf("Op.String = %q", got)
+	}
+	if got := (Op{Kind: OpTAS, Space: NoSpace, Index: 1}).String(); got != "tas@space(-1)[1]" {
+		t.Fatalf("Op.String for unknown space = %q", got)
+	}
+}
+
+func TestSpaceInterning(t *testing.T) {
+	a := InternSpace("intern-test-a")
+	b := InternSpace("intern-test-b")
+	if a == b {
+		t.Fatal("distinct labels interned to the same ID")
+	}
+	if InternSpace("intern-test-a") != a {
+		t.Fatal("re-interning a label changed its ID")
+	}
+	if SpaceLabel(a) != "intern-test-a" || SpaceLabel(b) != "intern-test-b" {
+		t.Fatal("SpaceLabel does not round-trip")
+	}
+	if n := NumSpaces(); n < 2 || int(a) >= n || int(b) >= n {
+		t.Fatalf("NumSpaces = %d does not cover interned IDs %d, %d", n, a, b)
 	}
 }
 

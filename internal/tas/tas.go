@@ -35,7 +35,7 @@ type match struct {
 }
 
 // play runs the match for the given side, charging register operations to
-// p under the given op space label. It returns true if this side won.
+// p under the given op space. It returns true if this side won.
 //
 // Protocol: raise the flag, write the turn, then loop — absent opponent
 // wins; seeing the opponent's turn value wins (the later turn writer
@@ -43,10 +43,10 @@ type match struct {
 // one side can observe each winning condition, and the turn register
 // breaks the symmetric race: both spinning is impossible because turn
 // holds a single value.
-func (m *match) play(p *shm.Proc, label string, node int, side int32) bool {
+func (m *match) play(p *shm.Proc, space shm.SpaceID, node int, side int32) bool {
 	other := 1 - side
 	op := func(kind shm.OpKind) {
-		p.Step(shm.Op{Kind: kind, Space: label, Index: node})
+		p.Step(shm.Op{Kind: kind, Space: space, Index: int32(node)})
 	}
 	op(shm.OpTAS) // write want[side]
 	m.want[side].Store(1)
@@ -87,10 +87,10 @@ func newRWRegister(leaves int) *RWRegister {
 
 // acquire plays the tournament from p's leaf to the root. Replays are
 // safe: decided matches return their recorded result.
-func (r *RWRegister) acquire(p *shm.Proc, label string, reg int) bool {
+func (r *RWRegister) acquire(p *shm.Proc, space shm.SpaceID, reg int) bool {
 	if r.leaves == 1 {
 		// Single possible contender: winning is a single write.
-		p.Step(shm.Op{Kind: shm.OpTAS, Space: label, Index: reg})
+		p.Step(shm.Op{Kind: shm.OpTAS, Space: space, Index: int32(reg)})
 		return r.settled.CompareAndSwap(0, 1) // sole contender; no race
 	}
 	// Node index of leaf pid in the implicit heap of 2*leaves-1 nodes:
@@ -99,12 +99,12 @@ func (r *RWRegister) acquire(p *shm.Proc, label string, reg int) bool {
 	for k > 0 {
 		parent := (k - 1) / 2
 		side := int32((k - 1) % 2) // left child plays side 0
-		if !r.nodes[parent].play(p, label, reg, side) {
+		if !r.nodes[parent].play(p, space, reg, side) {
 			return false
 		}
 		k = parent
 	}
-	p.Step(shm.Op{Kind: shm.OpTAS, Space: label, Index: reg}) // write settled
+	p.Step(shm.Op{Kind: shm.OpTAS, Space: space, Index: int32(reg)}) // write settled
 	r.settled.Store(1)
 	return true
 }
@@ -114,6 +114,7 @@ func (r *RWRegister) acquire(p *shm.Proc, label string, reg int) bool {
 // software TAS (experiment E9).
 type RWSpace struct {
 	label string
+	id    shm.SpaceID
 	n     int // maximum contenders (process count)
 	regs  []*RWRegister
 }
@@ -130,7 +131,7 @@ func NewRWSpace(label string, m, n int) *RWSpace {
 	for leaves < n {
 		leaves *= 2
 	}
-	s := &RWSpace{label: label, n: n, regs: make([]*RWRegister, m)}
+	s := &RWSpace{label: label, id: shm.InternSpace(label), n: n, regs: make([]*RWRegister, m)}
 	for i := range s.regs {
 		s.regs[i] = newRWRegister(leaves)
 	}
@@ -141,6 +142,9 @@ func NewRWSpace(label string, m, n int) *RWSpace {
 // shm.LabeledProbeable.
 func (s *RWSpace) Label() string { return s.label }
 
+// ID returns the space's interned operation-space ID.
+func (s *RWSpace) ID() shm.SpaceID { return s.id }
+
 // Size implements shm.ClaimSpace.
 func (s *RWSpace) Size() int { return len(s.regs) }
 
@@ -148,18 +152,18 @@ func (s *RWSpace) Size() int { return len(s.regs) }
 // A fast-path read returns false immediately when the register has
 // already settled.
 func (s *RWSpace) TryClaim(p *shm.Proc, i int) bool {
-	p.Step(shm.Op{Kind: shm.OpRead, Space: s.label, Index: i})
+	p.Step(shm.Op{Kind: shm.OpRead, Space: s.id, Index: int32(i)})
 	if s.regs[i].settled.Load() != 0 {
 		return false
 	}
-	return s.regs[i].acquire(p, s.label, i)
+	return s.regs[i].acquire(p, s.id, i)
 }
 
 // Claimed implements shm.ClaimSpace. It reads the settled register, which
 // trails the actual decision by the winner's O(log n) climb; the §IV
 // algorithms only use it opportunistically, so the lag is harmless.
 func (s *RWSpace) Claimed(p *shm.Proc, i int) bool {
-	p.Step(shm.Op{Kind: shm.OpRead, Space: s.label, Index: i})
+	p.Step(shm.Op{Kind: shm.OpRead, Space: s.id, Index: int32(i)})
 	return s.regs[i].settled.Load() != 0
 }
 

@@ -30,7 +30,20 @@ type Array struct {
 // NewArray builds an array of counting devices with the shared bit width,
 // one per spec. Each spec must satisfy 0 <= Tau <= width and Tau == Names.
 // selfClocked selects native (true) or externally clocked (false) devices.
+// The name bitmap is packed (64 names/word); native-mode callers that want
+// false-sharing padding use NewArrayPadded.
 func NewArray(label string, width int, specs []Spec, selfClocked bool) *Array {
+	return newArray(label, width, specs, selfClocked, false)
+}
+
+// NewArrayPadded is NewArray with the name bitmap laid out one word per
+// cache line, for runs on real cores where concurrent claimers would
+// otherwise false-share bitmap words.
+func NewArrayPadded(label string, width int, specs []Spec, selfClocked bool) *Array {
+	return newArray(label, width, specs, selfClocked, true)
+}
+
+func newArray(label string, width int, specs []Spec, selfClocked, padded bool) *Array {
 	total := 0
 	for i, s := range specs {
 		if s.Tau != s.Names {
@@ -41,12 +54,16 @@ func NewArray(label string, width int, specs []Spec, selfClocked bool) *Array {
 		}
 		total += s.Names
 	}
+	mkSpace := shm.NewNameSpace
+	if padded {
+		mkSpace = shm.NewNameSpacePadded
+	}
 	a := &Array{
 		label:    label,
 		width:    width,
 		devices:  make([]*Device, len(specs)),
 		nameBase: make([]int, len(specs)),
-		names:    shm.NewNameSpace(label+":names", total),
+		names:    mkSpace(label+":names", total),
 	}
 	base := 0
 	for i, s := range specs {

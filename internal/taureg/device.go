@@ -73,6 +73,7 @@ func (o Outcome) String() string {
 // ever be confirmed.
 type Device struct {
 	label       string
+	id          shm.SpaceID
 	width       int
 	tau         int
 	selfClocked bool
@@ -95,11 +96,14 @@ func NewDevice(label string, width, tau int, selfClocked bool) *Device {
 	if tau < 0 || tau > width {
 		panic(fmt.Sprintf("taureg: tau %d outside [0,%d]", tau, width))
 	}
-	return &Device{label: label, width: width, tau: tau, selfClocked: selfClocked}
+	return &Device{label: label, id: shm.InternSpace(label), width: width, tau: tau, selfClocked: selfClocked}
 }
 
 // Label returns the device's label used in operation descriptors.
 func (d *Device) Label() string { return d.label }
+
+// ID returns the device's interned operation-space ID.
+func (d *Device) ID() shm.SpaceID { return d.id }
 
 // Width returns the number of TAS bits.
 func (d *Device) Width() int { return d.width }
@@ -124,7 +128,7 @@ func (d *Device) widthMask() uint64 {
 // call Resolve until the outcome is decided. One step.
 func (d *Device) RequestBit(p *shm.Proc, b int) bool {
 	d.checkBit(b)
-	p.Step(shm.Op{Kind: shm.OpTAS, Space: d.label, Index: b})
+	p.Step(shm.Op{Kind: shm.OpTAS, Space: d.id, Index: int32(b)})
 	mask := uint64(1) << b
 	for {
 		cur := d.in.Load()
@@ -144,7 +148,7 @@ func (d *Device) RequestBit(p *shm.Proc, b int) bool {
 // pending request triggers a clock cycle before the read.
 func (d *Device) Resolve(p *shm.Proc, b int) Outcome {
 	d.checkBit(b)
-	p.Step(shm.Op{Kind: shm.OpRead, Space: d.label, Index: b})
+	p.Step(shm.Op{Kind: shm.OpRead, Space: d.id, Index: int32(b)})
 	if d.selfClocked {
 		if o := d.peek(b); o != Pending {
 			return o
@@ -184,7 +188,7 @@ func (d *Device) AcquireBit(p *shm.Proc, b int) Outcome {
 // so that stale provisional bits (e.g. of crashed processes) get decided
 // before the caller inspects availability. Used by the fallback sweep.
 func (d *Device) ReadRequests(p *shm.Proc) uint64 {
-	p.Step(shm.Op{Kind: shm.OpRead, Space: d.label, Index: -1})
+	p.Step(shm.Op{Kind: shm.OpRead, Space: d.id, Index: -1})
 	if d.selfClocked && d.in.Load() != d.out.Load() {
 		d.Cycle()
 	}
@@ -194,7 +198,7 @@ func (d *Device) ReadRequests(p *shm.Proc) uint64 {
 // Full reads out_reg and reports whether the device has confirmed τ bits,
 // i.e. can never confirm another request. One step.
 func (d *Device) Full(p *shm.Proc) bool {
-	p.Step(shm.Op{Kind: shm.OpRead, Space: d.label, Index: -1})
+	p.Step(shm.Op{Kind: shm.OpRead, Space: d.id, Index: -1})
 	return bits.OnesCount64(d.out.Load()) >= d.tau
 }
 

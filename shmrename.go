@@ -172,10 +172,12 @@ func buildInstance(cfg Config) (core.Instance, error) {
 	}
 	switch algo {
 	case TightTau:
-		if cfg.N >= 1<<32 {
-			return nil, fmt.Errorf("shmrename: TightTau supports n < 2^32, got %d", cfg.N)
+		// Operation indices are int32 on the hot path, so name spaces are
+		// capped at 2^31 names.
+		if cfg.N >= 1<<31 {
+			return nil, fmt.Errorf("shmrename: TightTau supports n < 2^31, got %d", cfg.N)
 		}
-		return core.NewTight(cfg.N, core.TightConfig{C: cfg.C, SelfClocked: true}), nil
+		return core.NewTight(cfg.N, core.TightConfig{C: cfg.C, SelfClocked: true, Padded: !cfg.Simulate}), nil
 	case LooseRounds:
 		return core.NewLooseRounds(cfg.N, core.RoundsConfig{Ell: cfg.Ell}), nil
 	case LooseClusters:
