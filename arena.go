@@ -1,0 +1,161 @@
+package shmrename
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+// ArenaBackend selects a long-lived arena implementation.
+type ArenaBackend string
+
+// Available arena backends.
+const (
+	// ArenaLevel is the LevelArray-style arena: levels of geometrically
+	// growing packed TAS bitmaps, random probes falling through to a
+	// deterministic backstop scan. Issued names track the instantaneous
+	// occupancy. The default.
+	ArenaLevel ArenaBackend = "level-array"
+	// ArenaTau is the long-lived adaptation of the paper's τ-register
+	// algorithm: counting devices front blocks of names, and releases
+	// return both the name and the device bit.
+	ArenaTau ArenaBackend = "tau-longlived"
+)
+
+// ArenaConfig parameterizes a long-lived renaming arena.
+type ArenaConfig struct {
+	// Capacity is the number of concurrent holders the arena guarantees
+	// to serve (required, >= 1). More may be admitted on a best-effort
+	// basis; see Arena.Acquire.
+	Capacity int
+	// Backend defaults to ArenaLevel.
+	Backend ArenaBackend
+	// Probes tunes the per-level random probe count (ArenaLevel) or the
+	// random device-attempt count (ArenaTau). 0 selects the default.
+	Probes int
+	// Seed drives client-side randomness (probe targets).
+	Seed uint64
+}
+
+// Arena full/validation errors.
+var (
+	// ErrArenaFull reports that Acquire found no free slot across several
+	// full passes. It signals over-subscription or heavy churn contention
+	// (a concurrent stream of acquires and releases can race every scan
+	// even below capacity, though that is vanishingly unlikely across the
+	// retry passes); treat it as backpressure and retry after backing off.
+	ErrArenaFull = errors.New("shmrename: arena full")
+	// ErrNotHeld reports a release of a name that is not currently held.
+	ErrNotHeld = errors.New("shmrename: name not held")
+)
+
+// acquirePasses bounds native Acquire passes before ErrArenaFull: each
+// failed pass scanned the full backstop, so by then the arena was observed
+// at capacity several times over.
+const acquirePasses = 8
+
+// Arena is a long-lived renaming arena: names are acquired, released, and
+// reacquired indefinitely, and at every instant the live holders' names are
+// pairwise distinct. All methods are safe for concurrent use from multiple
+// goroutines. Construct with NewArena.
+//
+// This is the native-mode surface (real goroutines on sync/atomic); the
+// deterministic adversarial simulator drives the same backends through
+// internal/longlived and the E15 churn experiment.
+type Arena struct {
+	impl   longlived.Arena
+	seed   uint64
+	nextID atomic.Int64
+	procs  sync.Pool
+}
+
+// NewArena builds a long-lived renaming arena.
+func NewArena(cfg ArenaConfig) (*Arena, error) {
+	if cfg.Capacity < 1 {
+		return nil, errors.New("shmrename: ArenaConfig.Capacity must be >= 1")
+	}
+	// Operation indices are int32 on the hot path; the level ladder's name
+	// bound stays below 4x capacity.
+	if cfg.Capacity >= 1<<29 {
+		return nil, fmt.Errorf("shmrename: ArenaConfig.Capacity must be < 2^29, got %d", cfg.Capacity)
+	}
+	if cfg.Probes < 0 {
+		return nil, fmt.Errorf("shmrename: ArenaConfig.Probes must be >= 0, got %d", cfg.Probes)
+	}
+	var impl longlived.Arena
+	switch cfg.Backend {
+	case "", ArenaLevel:
+		impl = longlived.NewLevel(cfg.Capacity, longlived.LevelConfig{
+			Probes:    cfg.Probes,
+			MaxPasses: acquirePasses,
+			Padded:    true,
+		})
+	case ArenaTau:
+		impl = longlived.NewTau(cfg.Capacity, longlived.TauConfig{
+			Probes:      cfg.Probes,
+			MaxPasses:   acquirePasses,
+			SelfClocked: true,
+			Padded:      true,
+		})
+	default:
+		return nil, fmt.Errorf("shmrename: unknown arena backend %q", cfg.Backend)
+	}
+	return &Arena{impl: impl, seed: cfg.Seed}, nil
+}
+
+// proc hands out a pooled ungated process context; each fresh context gets
+// its own deterministic randomness stream.
+func (a *Arena) proc() *shm.Proc {
+	if p, ok := a.procs.Get().(*shm.Proc); ok {
+		return p
+	}
+	id := int(a.nextID.Add(1) - 1)
+	return shm.NewProc(id, prng.NewStream(a.seed, id), nil, 0)
+}
+
+// Capacity returns the guaranteed concurrent-holder count.
+func (a *Arena) Capacity() int { return a.impl.Capacity() }
+
+// NameBound bounds issued names: they lie in [0, NameBound).
+func (a *Arena) NameBound() int { return a.impl.NameBound() }
+
+// Held returns the number of currently held names (a snapshot).
+func (a *Arena) Held() int { return a.impl.Held() }
+
+// Backend returns the backend's descriptive label.
+func (a *Arena) Backend() string { return a.impl.Label() }
+
+// Acquire claims a name that is unique among the arena's current holders.
+// It returns ErrArenaFull after repeatedly finding no free slot — the
+// steady-state signal of more than Capacity concurrent holders, though
+// sustained churn racing every retry pass can produce it early.
+func (a *Arena) Acquire() (int, error) {
+	p := a.proc()
+	name := a.impl.Acquire(p)
+	a.procs.Put(p)
+	if name < 0 {
+		return 0, ErrArenaFull
+	}
+	return name, nil
+}
+
+// Release returns an acquired name to the pool. Only the holder may release
+// a name; releasing a name that is not held returns ErrNotHeld (a
+// best-effort guard — the arena cannot tell holders apart).
+func (a *Arena) Release(name int) error {
+	if name < 0 || name >= a.impl.NameBound() {
+		return fmt.Errorf("shmrename: name %d outside [0, %d)", name, a.impl.NameBound())
+	}
+	if !a.impl.IsHeld(name) {
+		return ErrNotHeld
+	}
+	p := a.proc()
+	a.impl.Release(p, name)
+	a.procs.Put(p)
+	return nil
+}

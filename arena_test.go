@@ -1,0 +1,140 @@
+package shmrename
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestArenaBackends(t *testing.T) {
+	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau} {
+		a, err := NewArena(ArenaConfig{Capacity: 64, Backend: backend, Seed: 1})
+		if err != nil {
+			t.Fatalf("%q: %v", backend, err)
+		}
+		seen := make(map[int]bool)
+		var names []int
+		for i := 0; i < 64; i++ {
+			n, err := a.Acquire()
+			if err != nil {
+				t.Fatalf("%q acquire %d: %v", backend, i, err)
+			}
+			if n < 0 || n >= a.NameBound() {
+				t.Fatalf("%q: name %d outside [0,%d)", backend, n, a.NameBound())
+			}
+			if seen[n] {
+				t.Fatalf("%q: name %d issued twice", backend, n)
+			}
+			seen[n] = true
+			names = append(names, n)
+		}
+		if a.Held() != 64 {
+			t.Fatalf("%q: held %d, want 64", backend, a.Held())
+		}
+		for _, n := range names {
+			if err := a.Release(n); err != nil {
+				t.Fatalf("%q release %d: %v", backend, n, err)
+			}
+		}
+		if a.Held() != 0 {
+			t.Fatalf("%q: held %d after drain", backend, a.Held())
+		}
+		// Long-lived: a fresh generation succeeds on the drained arena.
+		if _, err := a.Acquire(); err != nil {
+			t.Fatalf("%q reacquire: %v", backend, err)
+		}
+	}
+}
+
+func TestArenaConcurrentChurn(t *testing.T) {
+	a, err := NewArena(ArenaConfig{Capacity: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < 50; c++ {
+				n, err := a.Acquire()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := a.Release(n); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if a.Held() != 0 {
+		t.Fatalf("held %d after churn", a.Held())
+	}
+}
+
+func TestArenaFullAndReleaseErrors(t *testing.T) {
+	a, err := NewArena(ArenaConfig{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the arena structurally; Acquire must eventually report full
+	// instead of spinning forever.
+	for i := 0; i < a.NameBound(); i++ {
+		if _, err := a.Acquire(); err != nil {
+			if !errors.Is(err, ErrArenaFull) {
+				t.Fatalf("unexpected acquire error: %v", err)
+			}
+			break
+		}
+	}
+	if _, err := a.Acquire(); !errors.Is(err, ErrArenaFull) {
+		t.Fatalf("acquire on full arena: %v, want ErrArenaFull", err)
+	}
+	// Release validation.
+	if err := a.Release(-1); err == nil {
+		t.Fatal("negative name accepted")
+	}
+	if err := a.Release(a.NameBound()); err == nil {
+		t.Fatal("out-of-range name accepted")
+	}
+}
+
+func TestArenaReleaseNotHeld(t *testing.T) {
+	a, err := NewArena(ArenaConfig{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(n); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("double release: %v, want ErrNotHeld", err)
+	}
+}
+
+func TestNewArenaConfigErrors(t *testing.T) {
+	cases := []ArenaConfig{
+		{Capacity: 0},
+		{Capacity: -3},
+		{Capacity: 1 << 29},
+		{Capacity: 8, Backend: "warp-array"},
+		{Capacity: 8, Probes: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewArena(cfg); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -9,12 +9,14 @@ package shmrename
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"shmrename/internal/backfill"
 	"shmrename/internal/balls"
 	"shmrename/internal/baseline"
 	"shmrename/internal/core"
+	"shmrename/internal/longlived"
 	"shmrename/internal/prng"
 	"shmrename/internal/sched"
 	"shmrename/internal/shm"
@@ -380,6 +382,72 @@ func BenchmarkE13Adaptive(b *testing.B) {
 				totalMax += sched.MaxSteps(res)
 			}
 			b.ReportMetric(float64(totalMax)/float64(b.N), "steps/proc-max")
+		})
+	}
+}
+
+// BenchmarkChurnSim measures the canonical E15 churn workload (k = n/4
+// workers cycling names on a capacity-n arena, longlived.DefaultChurn) on
+// the deterministic simulator and reports the mean shared-memory steps per
+// successful acquire. The BENCH_2.json trajectory records the same
+// workload; see cmd/renamebench -bench2.
+func BenchmarkChurnSim(b *testing.B) {
+	for _, backend := range longlived.ChurnBackends() {
+		for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+			b.Run(fmt.Sprintf("%s/n=%d", backend.Name, n), func(b *testing.B) {
+				k := n / 4
+				var steps float64
+				for i := 0; i < b.N; i++ {
+					arena := backend.Make(n)
+					mon := longlived.NewMonitor(arena.NameBound())
+					sched.Run(sched.Config{
+						N:         k,
+						Seed:      uint64(i),
+						Fast:      sched.FastFIFO,
+						Body:      longlived.ChurnBody(arena, mon, longlived.DefaultChurn),
+						AfterStep: arena.Clock(),
+					})
+					if err := mon.Err(); err != nil {
+						b.Fatal(err)
+					}
+					if held := arena.Held(); held != 0 {
+						b.Fatalf("%d names held after drain", held)
+					}
+					steps += mon.StepsPerAcquire()
+				}
+				b.ReportMetric(steps/float64(b.N), "steps/acquire")
+			})
+		}
+	}
+}
+
+// BenchmarkChurnNative measures public-API arena churn on real goroutines:
+// each iteration is one full acquire/release cycle per worker.
+func BenchmarkChurnNative(b *testing.B) {
+	for _, backend := range []ArenaBackend{ArenaLevel, ArenaTau} {
+		b.Run(string(backend), func(b *testing.B) {
+			arena, err := NewArena(ArenaConfig{Capacity: 256, Backend: backend, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// b.Fatal must not be called from RunParallel worker
+			// goroutines; collect the first error and fail afterwards.
+			var firstErr atomic.Pointer[error]
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					name, err := arena.Acquire()
+					if err == nil {
+						err = arena.Release(name)
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			})
+			if p := firstErr.Load(); p != nil {
+				b.Fatal(*p)
+			}
 		})
 	}
 }

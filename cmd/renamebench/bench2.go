@@ -1,0 +1,124 @@
+package main
+
+// BENCH_2.json generation: the churn-workload trajectory for the
+// long-lived arena (internal/longlived). It records wall-clock, allocation,
+// and step costs of sustained acquire/release churn — k = n/4 workers
+// cycling names on a capacity-n arena — for both backends, plus the
+// adaptivity signal (max issued name vs. peak simultaneous holders).
+// Subsequent perf PRs regenerate the file with -bench2 and must not regress
+// its steps-per-acquire column.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/sched"
+)
+
+// bench2Point is one measured (backend, n) churn cell.
+type bench2Point struct {
+	Backend         string  `json:"backend"`
+	N               int     `json:"n"`
+	K               int     `json:"k"`
+	Cycles          int     `json:"cycles"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	StepsPerAcquire float64 `json:"steps_per_acquire"`
+	MaxName         int64   `json:"max_name"`
+	MaxActive       int64   `json:"max_active"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+}
+
+type bench2File struct {
+	Description string        `json:"description"`
+	GoOS        string        `json:"goos"`
+	GoArch      string        `json:"goarch"`
+	Seed        uint64        `json:"seed"`
+	MaxN        int           `json:"max_n"`
+	Results     []bench2Point `json:"results"`
+}
+
+// runBench2 measures the churn workload and writes the JSON file.
+func runBench2(path string, seed uint64, maxExp int) error {
+	if maxExp < 8 || maxExp > 20 || maxExp%2 != 0 {
+		return fmt.Errorf("bench2: -bench2-maxexp %d must be even and within [8,20] (sweeps run n = 2^8, 2^10, .. 2^maxexp)", maxExp)
+	}
+	if f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		return err
+	} else {
+		f.Close()
+	}
+	out := bench2File{
+		Description: "long-lived churn trajectory: k=n/4 workers acquire/hold/release on a capacity-n arena under FastFIFO; regenerate with: renamebench -bench2 " + path,
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		Seed:        seed,
+		MaxN:        1 << 8,
+	}
+
+	churn := longlived.DefaultChurn
+	for _, w := range longlived.ChurnBackends() {
+		for e := 8; e <= maxExp; e += 2 {
+			n := 1 << e
+			k := n / 4
+			if n > out.MaxN {
+				out.MaxN = n
+			}
+			var steps float64
+			var maxName, maxActive int64
+			iters := 0
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					arena := w.Make(n)
+					mon := longlived.NewMonitor(arena.NameBound())
+					sched.Run(sched.Config{
+						N:         k,
+						Seed:      seed + uint64(i),
+						Fast:      sched.FastFIFO,
+						Body:      longlived.ChurnBody(arena, mon, churn),
+						AfterStep: arena.Clock(),
+					})
+					if err := mon.Err(); err != nil {
+						panic(fmt.Sprintf("bench2 %s n=%d: %v", w.Name, n, err))
+					}
+					if held := arena.Held(); held != 0 {
+						panic(fmt.Sprintf("bench2 %s n=%d: %d names held after drain", w.Name, n, held))
+					}
+					steps += mon.StepsPerAcquire()
+					if m := mon.MaxName(); m > maxName {
+						maxName = m
+					}
+					if a := mon.MaxActive(); a > maxActive {
+						maxActive = a
+					}
+					iters++
+				}
+			})
+			p := bench2Point{
+				Backend:         w.Name,
+				N:               n,
+				K:               k,
+				Cycles:          churn.Cycles,
+				NsPerOp:         float64(r.NsPerOp()),
+				StepsPerAcquire: steps / float64(iters),
+				MaxName:         maxName,
+				MaxActive:       maxActive,
+				AllocsPerOp:     r.AllocsPerOp(),
+				BytesPerOp:      r.AllocedBytesPerOp(),
+			}
+			out.Results = append(out.Results, p)
+			fmt.Fprintf(os.Stderr, "bench2: %s n=%d k=%d: %.1fms/op, %.1f steps/acquire, max name %d @ %d active\n",
+				w.Name, n, k, p.NsPerOp/1e6, p.StepsPerAcquire, p.MaxName, p.MaxActive)
+		}
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

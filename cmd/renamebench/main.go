@@ -33,15 +33,27 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		bench1  = flag.String("bench1", "", "write the BENCH_1.json perf trajectory to this path and exit")
 		bench1N = flag.Int("bench1-maxexp", 20, "largest log2(n) for -bench1 sweeps")
+		bench1A = flag.String("bench1-against", "", "baseline BENCH_1.json to compare -bench1 results against; exits nonzero on steps/proc-max regression")
+		bench2  = flag.String("bench2", "", "write the BENCH_2.json churn trajectory to this path and exit")
+		bench2N = flag.Int("bench2-maxexp", 14, "largest log2(n) for -bench2 sweeps")
 	)
 	flag.Parse()
 
 	if *bench1 != "" {
-		if err := runBench1(*bench1, *seed, *bench1N); err != nil {
+		if err := runBench1(*bench1, *seed, *bench1N, *bench1A); err != nil {
 			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("bench1 trajectory written to %s\n", *bench1)
+		return
+	}
+
+	if *bench2 != "" {
+		if err := runBench2(*bench2, *seed, *bench2N); err != nil {
+			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench2 churn trajectory written to %s\n", *bench2)
 		return
 	}
 

@@ -38,6 +38,33 @@
 // "collider", "starve") and a CrashFraction; leave it false to run on
 // real goroutines with sync/atomic test-and-set.
 //
+// # Long-lived renaming
+//
+// The paper's algorithms are one-shot: a name, once acquired, is held
+// forever. NewArena provides the long-lived variant for churn workloads —
+// sustained acquire/release traffic in which names return to the pool and
+// are reacquired indefinitely:
+//
+//	arena, err := shmrename.NewArena(shmrename.ArenaConfig{Capacity: 256})
+//	name, err := arena.Acquire() // unique among current holders
+//	// ...
+//	err = arena.Release(name)    // name becomes reacquirable
+//
+// Long-lived semantics: at every instant the names of live holders are
+// pairwise distinct (holder = a client between a successful Acquire and
+// the matching Release). Capacity sizes the arena for that many
+// concurrent holders; beyond it the arena serves best-effort, and
+// Acquire reports ErrArenaFull once repeated full passes found no free
+// slot (expected under over-subscription, and possible — though
+// vanishingly unlikely — when sustained churn races every pass). Only
+// the holder of a name may Release it, and a name must not be used after
+// its release. Two backends exist: ArenaLevel (LevelArray-style levels of
+// packed TAS bitmaps whose issued names track the instantaneous
+// occupancy) and ArenaTau (the §III τ-register algorithm adapted with
+// releasable counting-device bits). Releases are shm.OpClear operations
+// in the kernel, so the adversarial simulator covers churn schedules; the
+// E15 harness experiment and BENCH_2.json record the workload.
+//
 // # Execution modes and cost model
 //
 // Both modes share all algorithm and substrate code; only the per-step

@@ -76,6 +76,30 @@ func ExampleRename_adversarial() {
 	// distinct: true
 }
 
+// ExampleNewArena shows long-lived renaming: names are released back to
+// the pool and reacquired, and live holders' names are always distinct.
+func ExampleNewArena() {
+	arena, err := shmrename.NewArena(shmrename.ArenaConfig{Capacity: 16, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	a, _ := arena.Acquire()
+	b, _ := arena.Acquire()
+	fmt.Println("distinct while held:", a != b)
+	fmt.Println("held:", arena.Held())
+	if err := arena.Release(a); err != nil {
+		panic(err)
+	}
+	c, _ := arena.Acquire() // the pool recycles released names
+	fmt.Println("still distinct:", c != b)
+	fmt.Println("within bound:", c < arena.NameBound())
+	// Output:
+	// distinct while held: true
+	// held: 2
+	// still distinct: true
+	// within bound: true
+}
+
 // ExampleCountingDevice elects a bounded committee: no matter how many
 // contenders race, at most τ win.
 func ExampleCountingDevice() {

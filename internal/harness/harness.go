@@ -57,7 +57,7 @@ func All() []Experiment {
 	return []Experiment{
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
-		expE13(), expE14(),
+		expE13(), expE14(), expE15(),
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 func tiny() Config { return Config{Trials: 2, Seed: 11} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -241,6 +241,40 @@ func TestE12ShowsGeometryContrast(t *testing.T) {
 		if kinds["corrected"]+0.25 >= kinds["paper-literal"] {
 			t.Fatalf("n=%s: corrected fallback %.3f not clearly below literal %.3f",
 				n, kinds["corrected"], kinds["paper-literal"])
+		}
+	}
+}
+
+func TestE15ChurnInvariants(t *testing.T) {
+	tabs := checkTables(t, "E15")
+	for _, row := range tabs[0].Rows {
+		// Acquires drained: every (backend, n, k) cell churned k workers
+		// for the stated cycle count over all trials.
+		k, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad k cell %q: %v", row[2], err)
+		}
+		cycles, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("bad cycles cell %q: %v", row[3], err)
+		}
+		acquires, err := strconv.Atoi(row[len(row)-1])
+		if err != nil {
+			t.Fatalf("bad acquires cell %q: %v", row[len(row)-1], err)
+		}
+		if want := k * cycles * tiny().Trials; acquires != want {
+			t.Fatalf("E15 row acquires %d, want %d: %v", acquires, want, row)
+		}
+		// The level arena's adaptivity claim: issued names stay within a
+		// small constant of the peak occupancy.
+		if row[0] == "level-array" {
+			ratio, err := strconv.ParseFloat(row[6], 64)
+			if err != nil {
+				t.Fatalf("bad name/active cell %q: %v", row[6], err)
+			}
+			if ratio > 16 {
+				t.Fatalf("E15 level arena name/active ratio %.1f too large: %v", ratio, row)
+			}
 		}
 	}
 }

@@ -1,0 +1,181 @@
+package longlived
+
+import (
+	"fmt"
+	"sort"
+
+	"shmrename/internal/shm"
+)
+
+// LevelConfig parameterizes a LevelArena.
+type LevelConfig struct {
+	// Probes is the number of random TAS probes per non-backstop level
+	// before falling through to the next. Default 4.
+	Probes int
+	// Base is the size of the smallest level. Default 64 (one packed
+	// bitmap word).
+	Base int
+	// MaxPasses bounds full Acquire passes before reporting the arena
+	// full; 0 means unlimited (simulated runs rely on the scheduler's step
+	// budget instead).
+	MaxPasses int
+	// Padded lays level bitmaps out one word per cache line for native
+	// runs on real cores; leave false for simulated runs.
+	Padded bool
+	// Label prefixes the operation-space labels. Default "arena".
+	Label string
+}
+
+func (c *LevelConfig) fill() {
+	if c.Probes <= 0 {
+		c.Probes = 4
+	}
+	if c.Base <= 0 {
+		c.Base = 64
+	}
+	if c.Label == "" {
+		c.Label = "arena"
+	}
+}
+
+// LevelArena is the LevelArray-style long-lived arena: levels of
+// geometrically growing word-packed TAS bitmaps, with level 0 the smallest
+// and the final backstop level sized to the full capacity. Acquire probes
+// each level a few times at random and falls through; since at most
+// capacity-1 other clients hold slots, the backstop always has a free slot,
+// and a deterministic scan of it is the termination guarantee. Release
+// clears the slot's bit (shm.OpClear), making the name immediately
+// reusable.
+//
+// Names are numbered level 0 first, so low occupancy concentrates issued
+// names near 0: with k concurrent holders the random probes w.h.p. place
+// everyone within the first O(log k) levels, whose sizes sum to O(k) — the
+// long-lived analogue of adaptive tight renaming.
+type LevelArena struct {
+	cfg    LevelConfig
+	levels []*shm.NameSpace
+	base   []int // base[i] = first global name of level i
+	bound  int
+	cap    int
+}
+
+var _ Arena = (*LevelArena)(nil)
+
+// NewLevel builds a level arena guaranteeing capacity concurrent holders.
+func NewLevel(capacity int, cfg LevelConfig) *LevelArena {
+	if capacity < 1 {
+		panic("longlived: capacity must be >= 1")
+	}
+	cfg.fill()
+	mkSpace := shm.NewNameSpace
+	if cfg.Padded {
+		mkSpace = shm.NewNameSpacePadded
+	}
+	a := &LevelArena{cfg: cfg, cap: capacity}
+	// Geometric ladder: Base, 2·Base, 4·Base, ... strictly below capacity,
+	// then the capacity-sized backstop.
+	for size := cfg.Base; size < capacity; size *= 2 {
+		a.addLevel(mkSpace, size)
+	}
+	a.addLevel(mkSpace, capacity)
+	return a
+}
+
+func (a *LevelArena) addLevel(mk func(string, int) *shm.NameSpace, size int) {
+	label := fmt.Sprintf("%s:L%d", a.cfg.Label, len(a.levels))
+	a.levels = append(a.levels, mk(label, size))
+	a.base = append(a.base, a.bound)
+	a.bound += size
+}
+
+// Label implements Arena.
+func (a *LevelArena) Label() string {
+	return fmt.Sprintf("level-array(levels=%d,probes=%d)", len(a.levels), a.cfg.Probes)
+}
+
+// Capacity implements Arena.
+func (a *LevelArena) Capacity() int { return a.cap }
+
+// NameBound implements Arena.
+func (a *LevelArena) NameBound() int { return a.bound }
+
+// Levels returns the number of levels (diagnostics).
+func (a *LevelArena) Levels() int { return len(a.levels) }
+
+// Acquire implements Arena: random probes down the ladder, then a
+// deterministic backstop scan; repeat up to MaxPasses passes.
+func (a *LevelArena) Acquire(p *shm.Proc) int {
+	r := p.Rand()
+	backstop := len(a.levels) - 1
+	for pass := 0; a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses; pass++ {
+		for li, lvl := range a.levels {
+			for t := 0; t < a.cfg.Probes; t++ {
+				i := r.Intn(lvl.Size())
+				if lvl.TryClaim(p, i) {
+					return a.base[li] + i
+				}
+			}
+		}
+		// Backstop scan: read first, TAS only slots that looked free. A
+		// scan that loses every race means other clients made progress;
+		// the next pass retries from the top of the ladder.
+		lvl := a.levels[backstop]
+		for i := 0; i < lvl.Size(); i++ {
+			if lvl.Claimed(p, i) {
+				continue
+			}
+			if lvl.TryClaim(p, i) {
+				return a.base[backstop] + i
+			}
+		}
+	}
+	return -1
+}
+
+// locate returns the level holding the global name and its local index.
+func (a *LevelArena) locate(name int) (int, int) {
+	if name < 0 || name >= a.bound {
+		panic(fmt.Sprintf("longlived: name %d outside arena bound %d", name, a.bound))
+	}
+	li := sort.Search(len(a.base), func(i int) bool { return a.base[i] > name }) - 1
+	return li, name - a.base[li]
+}
+
+// Release implements Arena.
+func (a *LevelArena) Release(p *shm.Proc, name int) {
+	li, i := a.locate(name)
+	a.levels[li].Free(p, i)
+}
+
+// Touch implements Arena: one read of the name's TAS register.
+func (a *LevelArena) Touch(p *shm.Proc, name int) {
+	li, i := a.locate(name)
+	a.levels[li].Claimed(p, i)
+}
+
+// IsHeld implements Arena.
+func (a *LevelArena) IsHeld(name int) bool {
+	li, i := a.locate(name)
+	return a.levels[li].Probe(i)
+}
+
+// Held implements Arena.
+func (a *LevelArena) Held() int {
+	h := 0
+	for _, lvl := range a.levels {
+		h += lvl.CountClaimed()
+	}
+	return h
+}
+
+// Probeables implements Arena.
+func (a *LevelArena) Probeables() map[string]shm.Probeable {
+	m := make(map[string]shm.Probeable, len(a.levels))
+	for _, lvl := range a.levels {
+		m[lvl.Label()] = lvl
+	}
+	return m
+}
+
+// Clock implements Arena: bitmap levels need no hardware clock.
+func (a *LevelArena) Clock() func() { return nil }

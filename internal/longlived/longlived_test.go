@@ -1,0 +1,324 @@
+package longlived
+
+import (
+	"fmt"
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/sched"
+	"shmrename/internal/shm"
+	"shmrename/internal/taureg"
+)
+
+// nativeProc returns an ungated proc for direct (non-simulated) arena use.
+func nativeProc(id int) *shm.Proc {
+	return shm.NewProc(id, prng.NewStream(99, id), nil, 1<<22)
+}
+
+// arenas returns one instance of every backend at the given capacity,
+// configured for direct native use.
+func arenas(capacity, maxPasses int) []Arena {
+	return []Arena{
+		NewLevel(capacity, LevelConfig{MaxPasses: maxPasses, Label: "t-level"}),
+		NewTau(capacity, TauConfig{MaxPasses: maxPasses, SelfClocked: true, Label: "t-tau"}),
+	}
+}
+
+func TestAcquireReleaseReacquire(t *testing.T) {
+	const capacity = 100
+	for _, a := range arenas(capacity, 4) {
+		t.Run(a.Label(), func(t *testing.T) {
+			p := nativeProc(0)
+			// Capacity is the guaranteed concurrency floor: at least that
+			// many acquires must succeed with distinct in-bound names.
+			// Beyond it the arena may keep serving from slack slots until
+			// it is structurally full and reports -1.
+			var names []int
+			seen := make(map[int]bool)
+			for {
+				n := a.Acquire(p)
+				if n == -1 {
+					break
+				}
+				if n < 0 || n >= a.NameBound() {
+					t.Fatalf("acquire %d: name %d outside [0,%d)", len(names), n, a.NameBound())
+				}
+				if seen[n] {
+					t.Fatalf("acquire %d: name %d issued twice", len(names), n)
+				}
+				seen[n] = true
+				names = append(names, n)
+				if len(names) > a.NameBound() {
+					t.Fatal("more live names than the name bound")
+				}
+			}
+			if len(names) < capacity {
+				t.Fatalf("only %d acquires before full, capacity %d guaranteed", len(names), capacity)
+			}
+			if h := a.Held(); h != len(names) {
+				t.Fatalf("held %d, want %d", h, len(names))
+			}
+			// Touch and release everything; the names return to the pool.
+			for _, n := range names {
+				if !a.IsHeld(n) {
+					t.Fatalf("name %d not held before release", n)
+				}
+				a.Touch(p, n)
+				a.Release(p, n)
+				if a.IsHeld(n) {
+					t.Fatalf("name %d still held after release", n)
+				}
+			}
+			if h := a.Held(); h != 0 {
+				t.Fatalf("held %d after full drain, want 0", h)
+			}
+			// Long-lived: the drained arena serves a fresh generation.
+			if n := a.Acquire(p); n < 0 {
+				t.Fatal("reacquire after drain failed")
+			}
+		})
+	}
+}
+
+func TestReleaseOutOfRangePanics(t *testing.T) {
+	for _, a := range arenas(16, 1) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: release of out-of-range name did not panic", a.Label())
+				}
+			}()
+			a.Release(nativeProc(0), a.NameBound())
+		}()
+	}
+}
+
+func TestLevelGeometry(t *testing.T) {
+	a := NewLevel(1024, LevelConfig{Base: 64, Label: "t-geom"})
+	// Ladder 64,128,256,512 then the 1024 backstop.
+	if got := a.Levels(); got != 5 {
+		t.Fatalf("levels = %d, want 5", got)
+	}
+	if got := a.NameBound(); got != 64+128+256+512+1024 {
+		t.Fatalf("name bound = %d", got)
+	}
+	// Capacity below Base degenerates to a single backstop level.
+	small := NewLevel(8, LevelConfig{Base: 64, Label: "t-geom-s"})
+	if small.Levels() != 1 || small.NameBound() != 8 {
+		t.Fatalf("small arena: levels=%d bound=%d", small.Levels(), small.NameBound())
+	}
+}
+
+func TestTauThresholdNeverExceeded(t *testing.T) {
+	const capacity = 128
+	a := NewTau(capacity, TauConfig{SelfClocked: true, Label: "t-thresh"})
+	mon := NewMonitor(a.NameBound())
+	sched.Run(sched.Config{
+		N:    capacity,
+		Seed: 5,
+		Fast: sched.FastRandom,
+		Body: ChurnBody(a, mon, ChurnConfig{Cycles: 3, HoldMin: 0, HoldMax: 6}),
+	})
+	if err := mon.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < a.NumDevices(); d++ {
+		if c := a.Device(d).ConfirmedCount(); c > a.Tau() {
+			t.Fatalf("device %d confirmed %d > tau %d", d, c, a.Tau())
+		}
+	}
+	if h := a.Held(); h != 0 {
+		t.Fatalf("%d names held after drain", h)
+	}
+}
+
+// TestChurnSimulatedGolden pins the deterministic simulated-adversary churn
+// outcome: for a fixed (seed, schedule) the monitor's aggregate fingerprint
+// — acquires, peak occupancy, max issued name, and total acquire steps —
+// must be bit-identical across refactors.
+func TestChurnSimulatedGolden(t *testing.T) {
+	type fingerprint struct {
+		acquires, maxActive, maxName, acquireSteps int64
+	}
+	golden := map[string]fingerprint{
+		"level/fifo":   {acquires: 144, maxActive: 27, maxName: 63, acquireSteps: 268},
+		"level/random": {acquires: 144, maxActive: 26, maxName: 63, acquireSteps: 245},
+		"tau/fifo":     {acquires: 144, maxActive: 27, maxName: 65, acquireSteps: 541},
+		"tau/random":   {acquires: 144, maxActive: 20, maxName: 65, acquireSteps: 530},
+	}
+	run := func(mk func() Arena, fast sched.FastMode) fingerprint {
+		a := mk()
+		mon := NewMonitor(a.NameBound())
+		sched.Run(sched.Config{
+			N:         48,
+			Seed:      42,
+			Fast:      fast,
+			Body:      ChurnBody(a, mon, ChurnConfig{Cycles: 3, HoldMin: 0, HoldMax: 4}),
+			AfterStep: a.Clock(),
+		})
+		if err := mon.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if h := a.Held(); h != 0 {
+			t.Fatalf("%d names held after drain", h)
+		}
+		return fingerprint{mon.Acquires(), mon.MaxActive(), mon.MaxName(), mon.AcquireSteps()}
+	}
+	backends := map[string]func() Arena{
+		"level": func() Arena { return NewLevel(64, LevelConfig{Label: "t-golden-l"}) },
+		"tau":   func() Arena { return NewTau(64, TauConfig{Label: "t-golden-t"}) },
+	}
+	modes := map[string]sched.FastMode{"fifo": sched.FastFIFO, "random": sched.FastRandom}
+	for bname, mk := range backends {
+		for mname, mode := range modes {
+			key := bname + "/" + mname
+			got := run(mk, mode)
+			want, ok := golden[key]
+			if !ok {
+				t.Fatalf("%s: no golden (got %+v)", key, got)
+			}
+			if got != want {
+				t.Errorf("%s: fingerprint %+v, want golden %+v", key, got, want)
+			}
+		}
+	}
+}
+
+// TestChurnAdversarial runs churn under the adaptive policies, including
+// the release-starving collider: safety (unique live names) and liveness
+// (every worker drains) must hold under every adversary.
+func TestChurnAdversarial(t *testing.T) {
+	policies := map[string]func() sched.Policy{
+		"round-robin": sched.RoundRobin,
+		"collider":    sched.Collider,
+		"starve":      func() sched.Policy { return sched.Starve(0, 1, 2) },
+	}
+	for pname, mk := range policies {
+		for _, backend := range []string{"level", "tau"} {
+			t.Run(backend+"/"+pname, func(t *testing.T) {
+				var a Arena
+				if backend == "level" {
+					a = NewLevel(32, LevelConfig{Label: "t-adv-l"})
+				} else {
+					a = NewTau(32, TauConfig{Label: "t-adv-t"})
+				}
+				mon := NewMonitor(a.NameBound())
+				res := sched.Run(sched.Config{
+					N:         24,
+					Seed:      7,
+					Policy:    mk(),
+					Body:      ChurnBody(a, mon, ChurnConfig{Cycles: 2, HoldMin: 0, HoldMax: 3}),
+					AfterStep: a.Clock(),
+					Spaces:    a.Probeables(),
+				})
+				if err := mon.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if got := sched.CountStatus(res, sched.Unnamed); got != 24 {
+					t.Fatalf("%d of 24 workers drained", got)
+				}
+				if h := a.Held(); h != 0 {
+					t.Fatalf("%d names held after drain", h)
+				}
+			})
+		}
+	}
+}
+
+// TestChurnRaceStorm is the -race storm of the acceptance criteria: real
+// goroutines hammer Acquire/Release concurrently and the monitor asserts
+// that no two live holders ever share a name at any instant.
+func TestChurnRaceStorm(t *testing.T) {
+	const workers = 48
+	cycles := 200
+	if testing.Short() {
+		cycles = 40
+	}
+	for _, mk := range []func() Arena{
+		func() Arena {
+			return NewLevel(workers, LevelConfig{Padded: true, Label: "t-storm-l"})
+		},
+		func() Arena {
+			return NewTau(workers, TauConfig{SelfClocked: true, Padded: true, Label: "t-storm-t"})
+		},
+	} {
+		a := mk()
+		t.Run(a.Label(), func(t *testing.T) {
+			mon := NewMonitor(a.NameBound())
+			res := sched.RunNative(workers, 3, ChurnBody(a, mon, ChurnConfig{
+				Cycles: cycles, HoldMin: 0, HoldMax: 4,
+			}))
+			if err := mon.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sched.CountStatus(res, sched.Unnamed); got != workers {
+				t.Fatalf("%d of %d workers drained", got, workers)
+			}
+			if want := int64(workers) * int64(cycles); mon.Acquires() != want {
+				t.Fatalf("acquires = %d, want %d", mon.Acquires(), want)
+			}
+			if h := a.Held(); h != 0 {
+				t.Fatalf("%d names held after storm", h)
+			}
+		})
+	}
+}
+
+// TestDeviceReleaseBit covers the long-lived τ-register extension directly:
+// a released bit frees device capacity and becomes winnable again.
+func TestDeviceReleaseBit(t *testing.T) {
+	d := taureg.NewDevice("t-release-dev", 8, 2, true)
+	p := nativeProc(0)
+	if d.AcquireBit(p, 3) != taureg.Won {
+		t.Fatal("bit 3 not won")
+	}
+	if d.AcquireBit(p, 5) != taureg.Won {
+		t.Fatal("bit 5 not won")
+	}
+	// Threshold reached: a third bit must lose.
+	if d.AcquireBit(p, 1) != taureg.Lost {
+		t.Fatal("bit 1 won beyond threshold")
+	}
+	d.ReleaseBit(p, 3)
+	in, out := d.Snapshot()
+	if in&(1<<3) != 0 || out&(1<<3) != 0 {
+		t.Fatalf("bit 3 still set after release: in=%b out=%b", in, out)
+	}
+	// The freed capacity and the freed bit are both reusable.
+	if d.AcquireBit(p, 3) != taureg.Won {
+		t.Fatal("released bit 3 not rewinnable")
+	}
+	if d.ConfirmedCount() != 2 {
+		t.Fatalf("confirmed %d, want 2", d.ConfirmedCount())
+	}
+}
+
+// TestMonitorDetectsViolations verifies the churn monitor itself reports
+// double-acquire and foreign-release.
+func TestMonitorDetectsViolations(t *testing.T) {
+	m := NewMonitor(4)
+	m.NoteAcquire(0, 2, 1)
+	m.NoteAcquire(1, 2, 1)
+	if m.Err() == nil {
+		t.Fatal("double acquire not detected")
+	}
+	m = NewMonitor(4)
+	m.NoteAcquire(0, 2, 1)
+	m.NoteRelease(1, 2)
+	if m.Err() == nil {
+		t.Fatal("foreign release not detected")
+	}
+}
+
+func ExampleChurnBody() {
+	arena := NewLevel(8, LevelConfig{Label: "example-arena"})
+	mon := NewMonitor(arena.NameBound())
+	sched.Run(sched.Config{
+		N:    4,
+		Seed: 1,
+		Fast: sched.FastFIFO,
+		Body: ChurnBody(arena, mon, ChurnConfig{Cycles: 2}),
+	})
+	fmt.Println("acquires:", mon.Acquires(), "violations:", mon.Err() == nil, "held:", arena.Held())
+	// Output: acquires: 8 violations: true held: 0
+}

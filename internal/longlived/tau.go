@@ -1,0 +1,246 @@
+package longlived
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"shmrename/internal/shm"
+	"shmrename/internal/taureg"
+)
+
+// TauConfig parameterizes a TauArena.
+type TauConfig struct {
+	// Width is the per-device TAS-bit count (the paper's 2·log n).
+	// Default: 2·⌈log₂ capacity⌉ clamped to [8, 64].
+	Width int
+	// Tau is the per-device confirmation threshold and block size (the
+	// paper's τ = log n). Default Width/2. Must satisfy 1 <= Tau <= Width.
+	Tau int
+	// Probes is the number of random (device, bit) acquisition attempts
+	// before the deterministic fallback sweep. Default Width.
+	Probes int
+	// MaxPasses bounds fallback sweep passes before reporting the arena
+	// full; 0 means unlimited.
+	MaxPasses int
+	// SelfClocked builds self-clocked counting devices. Required for
+	// native runs; simulated runs work either way (observably equivalent,
+	// self-clocked is cheaper — the canonical churn workload uses it).
+	// When false, Clock() returns the cycle hook the scheduler must run
+	// after every granted step.
+	SelfClocked bool
+	// Padded pads the name bitmap for native runs.
+	Padded bool
+	// Label prefixes the operation-space labels. Default "tauarena".
+	Label string
+}
+
+func (c *TauConfig) fill(capacity int) {
+	if c.Width <= 0 {
+		w := 2 * ceilLog2(capacity)
+		if w < 8 {
+			w = 8
+		}
+		if w > taureg.MaxWidth {
+			w = taureg.MaxWidth
+		}
+		c.Width = w
+	}
+	if c.Tau <= 0 {
+		c.Tau = c.Width / 2
+	}
+	if c.Tau > c.Width {
+		panic(fmt.Sprintf("longlived: tau %d exceeds width %d", c.Tau, c.Width))
+	}
+	if c.Probes <= 0 {
+		c.Probes = c.Width
+	}
+	if c.Label == "" {
+		c.Label = "tauarena"
+	}
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// TauArena is the long-lived adaptation of the paper's §III tight
+// algorithm: an array of τ-register counting devices, each fronting a block
+// of τ names. Acquire wins a TAS bit of a randomly probed device (the
+// counting hardware confirms at most τ winners per device) and then scans
+// the device's block for a free name; the threshold contract bounds block
+// occupancy by τ, and a holder keeps its confirmed bit for the lifetime of
+// its name, so at the instant a winner is confirmed at most τ-1 other
+// holders own names in the block — a free name always exists. Release
+// returns the name first and then the device bit (Device.ReleaseBit), both
+// shm.OpClear operations, restoring the device's capacity.
+//
+// Unlike the one-shot Tight instance there is no geometric cluster
+// schedule: churn keeps occupancy in flux, so Acquire probes devices
+// uniformly and falls back to a deterministic sweep, mirroring the
+// LevelArena's backstop.
+type TauArena struct {
+	cfg     TauConfig
+	cap     int
+	devices []*taureg.Device
+	names   *shm.NameSpace
+	// bitOf[name] records which device bit the name's current holder won
+	// (+1, 0 = unset). Written by the holder between winning the name and
+	// releasing it; the atomic store orders it against the name bit.
+	bitOf []atomic.Int32
+}
+
+var _ Arena = (*TauArena)(nil)
+
+// NewTau builds a τ-register arena guaranteeing capacity concurrent
+// holders.
+func NewTau(capacity int, cfg TauConfig) *TauArena {
+	if capacity < 1 {
+		panic("longlived: capacity must be >= 1")
+	}
+	cfg.fill(capacity)
+	nd := (capacity + cfg.Tau - 1) / cfg.Tau
+	mkSpace := shm.NewNameSpace
+	if cfg.Padded {
+		mkSpace = shm.NewNameSpacePadded
+	}
+	a := &TauArena{
+		cfg:     cfg,
+		cap:     capacity,
+		devices: make([]*taureg.Device, nd),
+		names:   mkSpace(cfg.Label+":names", nd*cfg.Tau),
+		bitOf:   make([]atomic.Int32, nd*cfg.Tau),
+	}
+	for d := range a.devices {
+		a.devices[d] = taureg.NewDevice(fmt.Sprintf("%s:dev%d", cfg.Label, d),
+			cfg.Width, cfg.Tau, cfg.SelfClocked)
+	}
+	return a
+}
+
+// Label implements Arena.
+func (a *TauArena) Label() string {
+	return fmt.Sprintf("tau-longlived(devices=%d,w=%d,tau=%d)",
+		len(a.devices), a.cfg.Width, a.cfg.Tau)
+}
+
+// Capacity implements Arena.
+func (a *TauArena) Capacity() int { return a.cap }
+
+// NameBound implements Arena.
+func (a *TauArena) NameBound() int { return a.names.Size() }
+
+// NumDevices returns the device count (diagnostics).
+func (a *TauArena) NumDevices() int { return len(a.devices) }
+
+// Device returns counting device d (diagnostics and tests).
+func (a *TauArena) Device(d int) *taureg.Device { return a.devices[d] }
+
+// Tau returns the per-device threshold (diagnostics).
+func (a *TauArena) Tau() int { return a.cfg.Tau }
+
+// Acquire implements Arena.
+func (a *TauArena) Acquire(p *shm.Proc) int {
+	r := p.Rand()
+	nd := len(a.devices)
+	for t := 0; t < a.cfg.Probes; t++ {
+		d := r.Intn(nd)
+		b := r.Intn(a.cfg.Width)
+		if a.devices[d].AcquireBit(p, b) == taureg.Won {
+			return a.claimName(p, d, b, r.Intn(a.cfg.Tau))
+		}
+	}
+	// Deterministic fallback sweep, the termination guarantee: walk the
+	// devices, skip currently full ones, try their free bits.
+	for pass := 0; a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses; pass++ {
+		for d := 0; d < nd; d++ {
+			dev := a.devices[d]
+			if dev.Full(p) {
+				continue
+			}
+			in := dev.ReadRequests(p)
+			for b := 0; b < a.cfg.Width; b++ {
+				if in&(uint64(1)<<b) != 0 {
+					continue
+				}
+				if dev.AcquireBit(p, b) == taureg.Won {
+					return a.claimName(p, d, b, 0)
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// claimName scans device d's name block starting at the random offset
+// until it wins a name, then records bit — the device bit the caller just
+// won — for Release to clear later. The scan retries: a releasing holder
+// may transiently keep its name while the block's bit count already
+// admitted us, but a free name is guaranteed at every instant (block
+// holders < τ), so the scan terminates.
+func (a *TauArena) claimName(p *shm.Proc, d, bit, start int) int {
+	tau := a.cfg.Tau
+	base := d * tau
+	for {
+		for j := 0; j < tau; j++ {
+			g := base + (start+j)%tau
+			if a.names.TryClaim(p, g) {
+				a.bitOf[g].Store(int32(bit) + 1)
+				return g
+			}
+		}
+	}
+}
+
+// Release implements Arena.
+func (a *TauArena) Release(p *shm.Proc, name int) {
+	if name < 0 || name >= a.names.Size() {
+		panic(fmt.Sprintf("longlived: name %d outside arena bound %d", name, a.names.Size()))
+	}
+	b := a.bitOf[name].Swap(0) - 1
+	if b < 0 {
+		// No recorded device bit: the name is free, or another caller's
+		// concurrent release of the same name already claimed the
+		// bookkeeping (a caller protocol violation either way). Releasing
+		// nothing keeps the arena consistent — the true holder's release
+		// still returns both the name and its bit — and the churn monitor
+		// and Held() drain checks surface the violation in tests.
+		return
+	}
+	a.names.Free(p, name)
+	a.devices[name/a.cfg.Tau].ReleaseBit(p, int(b))
+}
+
+// Touch implements Arena.
+func (a *TauArena) Touch(p *shm.Proc, name int) { a.names.Claimed(p, name) }
+
+// IsHeld implements Arena.
+func (a *TauArena) IsHeld(name int) bool { return a.names.Probe(name) }
+
+// Held implements Arena.
+func (a *TauArena) Held() int { return a.names.CountClaimed() }
+
+// Probeables implements Arena.
+func (a *TauArena) Probeables() map[string]shm.Probeable {
+	m := make(map[string]shm.Probeable, len(a.devices)+1)
+	for _, d := range a.devices {
+		m[d.Label()] = d
+	}
+	m[a.names.Label()] = a.names
+	return m
+}
+
+// Clock implements Arena.
+func (a *TauArena) Clock() func() {
+	if a.cfg.SelfClocked {
+		return nil
+	}
+	return func() {
+		for _, d := range a.devices {
+			d.Cycle()
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+// crashProbeBody returns a body that reads the space a fixed number of
+// times and then claims the first free name by linear scan. The read
+// prologue guarantees every process takes at least prologue+1 steps, so a
+// crash planned at any step below prologue must fire before the process can
+// claim a name.
+func crashProbeBody(space *shm.NameSpace, prologue int) Body {
+	return func(p *shm.Proc) int {
+		for i := 0; i < prologue; i++ {
+			space.Claimed(p, i%space.Size())
+		}
+		for i := 0; i < space.Size(); i++ {
+			if space.TryClaim(p, i) {
+				return i
+			}
+		}
+		return -1
+	}
+}
+
+// TestCrashPlanHonored covers the crash-injection path end to end: for
+// every policy the planned victims are crashed exactly once, crashed
+// processes never hold names (neither in the results nor as bits in the
+// space), and Result.Crashed matches the plan.
+func TestCrashPlanHonored(t *testing.T) {
+	const (
+		n        = 40
+		prologue = 16
+		maxStep  = 8 // all below prologue: every planned crash must fire
+	)
+	policies := map[string]func() Policy{
+		"round-robin": RoundRobin,
+		"random":      Random,
+		"starve":      func() Policy { return Starve(0, 1, 2, 3) },
+	}
+	for pname, mk := range policies {
+		t.Run(pname, func(t *testing.T) {
+			space := shm.NewNameSpace("crash-"+pname, n)
+			plan := PlanCrashes(n, 0.3, maxStep, prng.New(99))
+			if len(plan) != 12 {
+				t.Fatalf("plan has %d victims, want 12", len(plan))
+			}
+			res := Run(Config{
+				N:      n,
+				Seed:   5,
+				Policy: WithCrashes(mk(), plan),
+				Body:   crashProbeBody(space, prologue),
+				Spaces: map[string]shm.Probeable{space.Label(): space},
+			})
+			if err := VerifyUnique(res, n); err != nil {
+				t.Fatal(err)
+			}
+			crashed := 0
+			for _, r := range res {
+				at, planned := plan[r.PID]
+				switch {
+				case planned && r.Status != Crashed:
+					t.Errorf("pid %d planned to crash but ended %v", r.PID, r.Status)
+				case !planned && r.Status != Named:
+					t.Errorf("pid %d not in plan but ended %v", r.PID, r.Status)
+				}
+				if r.Status == Crashed {
+					crashed++
+					if r.Name != -1 {
+						t.Errorf("crashed pid %d holds name %d", r.PID, r.Name)
+					}
+					if r.Steps < at {
+						t.Errorf("pid %d crashed at step %d, before its planned step %d", r.PID, r.Steps, at)
+					}
+				}
+			}
+			if crashed != len(plan) {
+				t.Fatalf("%d crashed, want the full plan of %d", crashed, len(plan))
+			}
+			// No crashed process reached the claiming phase, so the claimed
+			// bits must be exactly the named survivors.
+			if got, want := space.CountClaimed(), n-len(plan); got != want {
+				t.Fatalf("%d names claimed, want %d (crashed processes must not hold bits)", got, want)
+			}
+		})
+	}
+}
+
+// TestCrashedNeverHoldNamesPublicSchedules drives the same invariant
+// through algorithm bodies at the schedule granularity the public API
+// exposes (fifo maps to round-robin when crashes are active), asserting
+// that a crash plan applied over the FIFO-equivalent, round-robin, and
+// starve policies keeps every crashed process nameless while the rest
+// terminate named.
+func TestCrashedNeverHoldNamesSchedules(t *testing.T) {
+	const n = 32
+	mkPolicies := map[string]func() Policy{
+		"fifo-equivalent": RoundRobin, // public fifo+crashes path
+		"round-robin":     RoundRobin,
+		"starve":          func() Policy { return Starve(0, 1, 2) },
+	}
+	for pname, mk := range mkPolicies {
+		t.Run(pname, func(t *testing.T) {
+			space := shm.NewNameSpace("crash-sched-"+pname, n)
+			plan := PlanCrashes(n, 0.25, 6, prng.New(7))
+			res := Run(Config{
+				N:      n,
+				Seed:   11,
+				Policy: WithCrashes(mk(), plan),
+				Body:   crashProbeBody(space, 8),
+				Spaces: map[string]shm.Probeable{space.Label(): space},
+			})
+			if err := VerifyUnique(res, n); err != nil {
+				t.Fatal(err)
+			}
+			if got := CountStatus(res, Crashed); got != len(plan) {
+				t.Fatalf("crashed %d, want %d", got, len(plan))
+			}
+			for _, r := range res {
+				if r.Status == Crashed && r.Name != -1 {
+					t.Errorf("crashed pid %d holds name %d", r.PID, r.Name)
+				}
+			}
+		})
+	}
+}

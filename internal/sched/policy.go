@@ -48,6 +48,9 @@ func (random) Next(w World, pending []Request, r *prng.Rand) Decision {
 // preferentially grants TAS operations whose target is already set (the
 // step is then guaranteed to fail), and otherwise grants operations from
 // the most contended target so that all but one of the contenders lose.
+// Under churn workloads it additionally starves releases: a pending
+// shm.OpClear is granted only when nothing else is pending, which keeps
+// the name space maximally occupied while acquirers probe it.
 type collider struct{}
 
 // Collider returns the contention-seeking adaptive adversary. It uses its
@@ -76,7 +79,7 @@ func (collider) Next(w World, pending []Request, r *prng.Rand) Decision {
 			counts[key{req.Op.Space, req.Op.Index}]++
 		}
 	}
-	bestIdx, bestCount := 0, 0
+	bestIdx, bestCount := -1, 0
 	for i, req := range pending {
 		if req.Op.Kind != shm.OpTAS {
 			continue
@@ -85,7 +88,18 @@ func (collider) Next(w World, pending []Request, r *prng.Rand) Decision {
 			bestCount, bestIdx = c, i
 		}
 	}
-	return Decision{Index: bestIdx}
+	if bestIdx >= 0 {
+		return Decision{Index: bestIdx}
+	}
+	// 3. No TAS pending: grant reads before releases, so pending OpClear
+	// operations (long-lived renaming) stay starved while any other
+	// process can still be made to work against the full space.
+	for i, req := range pending {
+		if req.Op.Kind != shm.OpClear {
+			return Decision{Index: i}
+		}
+	}
+	return Decision{Index: 0}
 }
 
 // starver delays a set of victim processes as long as possible: victims are

@@ -74,6 +74,41 @@ func TestColliderPrefersReadsLast(t *testing.T) {
 	}
 }
 
+func TestColliderStarvesReleases(t *testing.T) {
+	// Churn awareness: a pending release (OpClear) is granted only when
+	// every other pending operation is also a release — granting reads or
+	// claims first keeps the name space maximally occupied.
+	p := Collider()
+	space := shm.InternSpace("s")
+	pending := []Request{
+		{PID: 0, Op: shm.Op{Kind: shm.OpClear, Space: space, Index: 1}},
+		{PID: 1, Op: shm.Op{Kind: shm.OpRead, Space: space, Index: 2}},
+		{PID: 2, Op: shm.Op{Kind: shm.OpClear, Space: space, Index: 3}},
+	}
+	d := p.Next(fixedWorld{}, pending, prng.New(1))
+	if pending[d.Index].PID != 1 {
+		t.Fatalf("collider granted PID %d, want the read of PID 1", pending[d.Index].PID)
+	}
+	// Only releases pending: the collider must still make progress.
+	onlyClears := []Request{
+		{PID: 0, Op: shm.Op{Kind: shm.OpClear, Space: space, Index: 1}},
+		{PID: 2, Op: shm.Op{Kind: shm.OpClear, Space: space, Index: 3}},
+	}
+	d = p.Next(fixedWorld{}, onlyClears, prng.New(1))
+	if d.Index < 0 || d.Index >= len(onlyClears) {
+		t.Fatalf("collider returned index %d with only releases pending", d.Index)
+	}
+	// A doomed TAS still takes priority over everything.
+	withDoomed := append([]Request{
+		{PID: 3, Op: shm.Op{Kind: shm.OpTAS, Space: space, Index: 9}},
+	}, pending...)
+	world := fixedWorld{{Kind: shm.OpTAS, Space: space, Index: 9}: true}
+	d = p.Next(world, withDoomed, prng.New(1))
+	if withDoomed[d.Index].PID != 3 {
+		t.Fatalf("collider granted PID %d, want the doomed TAS of PID 3", withDoomed[d.Index].PID)
+	}
+}
+
 func TestStarveGrantsVictimWhenAlone(t *testing.T) {
 	p := Starve(4)
 	pending := []Request{{PID: 4}}

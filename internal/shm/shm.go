@@ -45,6 +45,10 @@ const (
 	OpTAS OpKind = iota
 	// OpRead is a read of a shared register (e.g. a device's out_reg).
 	OpRead
+	// OpClear is a clearing write that releases a previously won TAS
+	// register, the operation long-lived renaming adds to the one-shot
+	// model: names return to the pool and may be reacquired.
+	OpClear
 )
 
 // String returns a short human-readable name for the kind.
@@ -54,6 +58,8 @@ func (k OpKind) String() string {
 		return "tas"
 	case OpRead:
 		return "read"
+	case OpClear:
+		return "clear"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -337,6 +343,16 @@ func (s *NameSpace) Claimed(p *Proc, i int) bool {
 	w, mask := s.word(i)
 	p.Step(Op{Kind: OpRead, Space: s.id, Index: int32(i)})
 	return w.Load()&mask != 0
+}
+
+// Free clears name i — the release half of long-lived renaming. One step.
+// Only the current holder of the name may call it; releasing a free name is
+// a no-op (the atomic clear of an unset bit changes nothing). The cleared
+// name is immediately reacquirable by any process.
+func (s *NameSpace) Free(p *Proc, i int) {
+	w, mask := s.word(i)
+	p.Step(Op{Kind: OpClear, Space: s.id, Index: int32(i)})
+	w.And(^mask)
 }
 
 // Probe reports whether name i is taken without spending a process step.

@@ -207,3 +207,41 @@ func TestQuickClaimIdempotence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFreeReleasesNames(t *testing.T) {
+	s := NewNameSpace("free-test", 130)
+	p := NewProc(0, prng.New(3), nil, 0)
+	if !s.TryClaim(p, 5) || !s.TryClaim(p, 64) || !s.TryClaim(p, 129) {
+		t.Fatal("fresh names not claimable")
+	}
+	steps := p.Steps()
+	s.Free(p, 64)
+	if p.Steps() != steps+1 {
+		t.Fatal("Free must cost exactly one step")
+	}
+	if s.Probe(64) {
+		t.Fatal("name 64 still set after Free")
+	}
+	if !s.Probe(5) || !s.Probe(129) {
+		t.Fatal("Free cleared a neighbouring name")
+	}
+	if got := s.CountClaimed(); got != 2 {
+		t.Fatalf("CountClaimed = %d, want 2", got)
+	}
+	// Long-lived: the freed name is immediately reacquirable; freeing a
+	// free name is a harmless no-op.
+	s.Free(p, 64)
+	if !s.TryClaim(p, 64) {
+		t.Fatal("freed name not reclaimable")
+	}
+}
+
+func TestOpClearKind(t *testing.T) {
+	if OpClear.String() != "clear" {
+		t.Fatalf("OpClear formats as %q", OpClear.String())
+	}
+	op := Op{Kind: OpClear, Space: InternSpace("clear-fmt"), Index: 9}
+	if got := op.String(); got != "clear@clear-fmt[9]" {
+		t.Fatalf("Op.String() = %q", got)
+	}
+}

@@ -16,7 +16,11 @@
 //
 //   - out_reg never holds more than τ set bits;
 //   - bits confirmed in out_reg are a subset of bits requested in in_reg;
-//   - confirmed bits stay confirmed (out_reg is monotone);
+//   - confirmed bits stay confirmed until released (out_reg is monotone in
+//     one-shot use; ReleaseBit — the long-lived extension — is the only
+//     operation that unconfirms, and per-bit epoch tags keep a released or
+//     trimmed bit's earlier requester from adopting a later winner's
+//     confirmation);
 //   - every request observed by a cycle is decided (confirmed or cleared)
 //     in that cycle, so a requester resolves after at most one full cycle.
 //
@@ -70,7 +74,7 @@ func (o Outcome) String() string {
 }
 
 // Device is one counting device: width TAS bits of which at most tau may
-// ever be confirmed.
+// be confirmed at any time.
 type Device struct {
 	label       string
 	id          shm.SpaceID
@@ -78,9 +82,19 @@ type Device struct {
 	tau         int
 	selfClocked bool
 
-	mu  sync.Mutex // serializes clock cycles
+	mu  sync.Mutex // serializes clock cycles, requests, and releases
 	in  atomic.Uint64
 	out atomic.Uint64
+
+	// epochs[b] counts how many times a *set* request bit b has been
+	// cleared (trimmed by a cycle or released). A requester snapshots the
+	// epoch when its bit is set; any later epoch means its request was
+	// cleared, even if another process has since re-requested and won the
+	// same bit. One-shot executions never need this — a trim leaves the
+	// device full forever, so a stale winner cannot appear — but once
+	// ReleaseBit makes out_reg non-monotone the tag is what keeps one
+	// physical bit from resolving Won for two different requesters.
+	epochs [MaxWidth]atomic.Uint32
 
 	cycles atomic.Int64
 }
@@ -127,18 +141,25 @@ func (d *Device) widthMask() uint64 {
 // immediately lost) and true if p provisionally holds the bit; p must then
 // call Resolve until the outcome is decided. One step.
 func (d *Device) RequestBit(p *shm.Proc, b int) bool {
+	ok, _ := d.request(p, b)
+	return ok
+}
+
+// request is RequestBit plus the epoch token of the freshly set bit,
+// captured atomically with the set (both under the device mutex, which
+// also serializes the cycle/release epoch bumps). AcquireBit resolves
+// against the token.
+func (d *Device) request(p *shm.Proc, b int) (bool, uint32) {
 	d.checkBit(b)
 	p.Step(shm.Op{Kind: shm.OpTAS, Space: d.id, Index: int32(b)})
 	mask := uint64(1) << b
-	for {
-		cur := d.in.Load()
-		if cur&mask != 0 {
-			return false
-		}
-		if d.in.CompareAndSwap(cur, cur|mask) {
-			return true
-		}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.in.Load()&mask != 0 {
+		return false, 0
 	}
+	d.in.Or(mask)
+	return true, d.epochs[b].Load()
 }
 
 // Resolve reads the device registers and reports the state of p's request
@@ -171,16 +192,73 @@ func (d *Device) peek(b int) Outcome {
 }
 
 // AcquireBit is the full §II.B protocol for one bit: request it, then
-// resolve until decided. The returned outcome is Won or Lost.
+// resolve until decided. The returned outcome is Won or Lost. Resolution
+// is epoch-checked, so under long-lived use (ReleaseBit) a request that
+// was trimmed is Lost even if another process has since won the same bit.
 func (d *Device) AcquireBit(p *shm.Proc, b int) Outcome {
-	if !d.RequestBit(p, b) {
+	ok, tok := d.request(p, b)
+	if !ok {
 		return Lost
 	}
 	for {
-		if o := d.Resolve(p, b); o != Pending {
+		p.Step(shm.Op{Kind: shm.OpRead, Space: d.id, Index: int32(b)})
+		if d.selfClocked {
+			if o := d.peekTok(b, tok); o != Pending {
+				return o
+			}
+			d.Cycle()
+		}
+		if o := d.peekTok(b, tok); o != Pending {
 			return o
 		}
 	}
+}
+
+// peekTok inspects the registers for the request identified by (b, tok)
+// without stepping. It decides exactly as the tokenless peek — out_reg set
+// means decided, in_reg cleared means lost, otherwise pending — except
+// that a set out_reg bit whose epoch moved past the token is Lost: the
+// confirmation belongs to a later requester of the same bit, which can
+// only exist once ReleaseBit reopened the device. Reading out_reg before
+// the epoch keeps Won sound: epochs only grow, and every clear is preceded
+// by its bump under the device mutex, so an unchanged epoch at the later
+// read proves no clear preceded the out_reg observation.
+func (d *Device) peekTok(b int, tok uint32) Outcome {
+	mask := uint64(1) << b
+	if d.out.Load()&mask != 0 {
+		if d.epochs[b].Load() != tok {
+			return Lost
+		}
+		return Won
+	}
+	if d.in.Load()&mask == 0 {
+		return Lost
+	}
+	return Pending
+}
+
+// ReleaseBit clears bit b from both device registers — the release half of
+// a long-lived τ-register, extending the one-shot hardware of §II.B the
+// same way hardware test-and-set extends to test-and-set/reset. One step.
+// Only the confirmed winner of bit b may call it. Under the device mutex
+// the bit's epoch advances and then out_reg and in_reg are cleared, so a
+// concurrent cycle never observes the half-released state and any stale
+// resolve of an earlier trimmed request on the bit decides Lost instead of
+// adopting a later winner's confirmation. The threshold contract is
+// preserved — out_reg popcount only ever decreases here, so at most τ bits
+// stay confirmed — but out_reg is no longer monotone once releases occur,
+// which is exactly the long-lived semantics.
+func (d *Device) ReleaseBit(p *shm.Proc, b int) {
+	d.checkBit(b)
+	p.Step(shm.Op{Kind: shm.OpClear, Space: d.id, Index: int32(b)})
+	mask := ^(uint64(1) << b)
+	d.mu.Lock()
+	if d.in.Load()&^mask != 0 {
+		d.epochs[b].Add(1)
+	}
+	d.out.And(mask)
+	d.in.And(mask)
+	d.mu.Unlock()
 }
 
 // ReadRequests reads in_reg on behalf of p (one step) and returns it. On a
@@ -227,15 +305,16 @@ func (d *Device) Cycle() {
 		kept := trimShiftScan(newBits, allowed, d.width)
 		final := old | kept
 		losers := newBits &^ kept
-		// Line 12: in_reg <- out_reg. Concurrent requests that landed
-		// after the snapshot must survive, so clear exactly the loser
-		// bits instead of storing `final` blindly.
-		for {
-			in := d.in.Load()
-			if d.in.CompareAndSwap(in, in&^losers) {
-				break
-			}
+		// Each trimmed bit advances its epoch before the clear, so a
+		// loser's pending resolve observes the bump no later than the
+		// cleared bit and can never mistake a later winner for itself.
+		for l := losers; l != 0; l &= l - 1 {
+			d.epochs[bits.TrailingZeros64(l)].Add(1)
 		}
+		// Line 12: in_reg <- out_reg: clear exactly the loser bits
+		// (requests serialize on the device mutex, so no concurrent
+		// request can land mid-cycle).
+		d.in.And(^losers)
 		d.out.Store(final)
 	} else {
 		// Line 14: out_reg <- in_reg (all new requests confirmed).

@@ -3,6 +3,7 @@ package shmrename
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"shmrename/internal/baseline"
 	"shmrename/internal/core"
@@ -58,9 +59,11 @@ type Config struct {
 	N int
 	// Algorithm defaults to TightTau.
 	Algorithm Algorithm
-	// Ell is the ℓ parameter of the loose algorithms (default 1).
+	// Ell is the ℓ parameter of the loose algorithms: 0 selects the
+	// default 1; explicit values must lie in [1, MaxEll].
 	Ell int
-	// C is the cluster constant of TightTau (default 2).
+	// C is the cluster constant of TightTau: 0 selects the default 2;
+	// explicit values must lie in [1, MaxC].
 	C float64
 	// Seed drives all randomness; equal seeds give equal outcomes in
 	// simulated mode.
@@ -114,10 +117,29 @@ func (r *Result) Verify() error {
 	return nil
 }
 
+// Parameter bounds enforced by Rename. Values beyond them are virtually
+// always configuration mistakes: the ℓ round schedules grow exponentially
+// in ℓ, and cluster constants beyond MaxC make the geometry degenerate.
+const (
+	// MaxEll bounds Config.Ell.
+	MaxEll = 8
+	// MaxC bounds Config.C.
+	MaxC = 64.0
+)
+
 // Rename executes the configured renaming and returns the outcome.
 func Rename(cfg Config) (*Result, error) {
 	if cfg.N < 1 {
 		return nil, errors.New("shmrename: Config.N must be >= 1")
+	}
+	// Validate tuning parameters up front instead of silently clamping
+	// them to defaults inside the algorithm constructors: a mistyped value
+	// must fail loudly, not report results for a different configuration.
+	if cfg.Ell < 0 || cfg.Ell > MaxEll {
+		return nil, fmt.Errorf("shmrename: Config.Ell must be 0 (default) or in [1, %d], got %d", MaxEll, cfg.Ell)
+	}
+	if math.IsNaN(cfg.C) || (cfg.C != 0 && (cfg.C < 1 || cfg.C > MaxC)) {
+		return nil, fmt.Errorf("shmrename: Config.C must be 0 (default) or in [1, %g], got %g", MaxC, cfg.C)
 	}
 	if cfg.CrashFraction < 0 || cfg.CrashFraction > 1 {
 		return nil, errors.New("shmrename: CrashFraction must be in [0, 1]")

@@ -1,6 +1,8 @@
 package shmrename
 
 import (
+	"math"
+	"strings"
 	"testing"
 )
 
@@ -142,6 +144,48 @@ func TestRenameConfigErrors(t *testing.T) {
 		if _, err := Rename(cfg); err == nil {
 			t.Fatalf("case %d accepted: %+v", i, cfg)
 		}
+	}
+}
+
+// TestRenameParameterValidation pins the up-front Ell/C validation: out of
+// range tuning parameters must be rejected with a descriptive error, never
+// silently replaced by defaults, while the documented zero-means-default
+// and in-range values stay accepted.
+func TestRenameParameterValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring of the error, "" means accept
+	}{
+		{"ell default zero", Config{N: 16, Algorithm: LooseRounds, Simulate: true}, ""},
+		{"ell in range", Config{N: 16, Algorithm: LooseRounds, Ell: 3, Simulate: true}, ""},
+		{"ell max", Config{N: 16, Algorithm: LooseRounds, Ell: MaxEll, Simulate: true}, ""},
+		{"ell negative", Config{N: 16, Algorithm: LooseRounds, Ell: -1, Simulate: true}, "Config.Ell"},
+		{"ell too large", Config{N: 16, Algorithm: LooseRounds, Ell: MaxEll + 1, Simulate: true}, "Config.Ell"},
+		{"c default zero", Config{N: 16, Algorithm: TightTau, Simulate: true}, ""},
+		{"c in range", Config{N: 16, Algorithm: TightTau, C: 4, Simulate: true}, ""},
+		{"c max", Config{N: 16, Algorithm: TightTau, C: MaxC, Simulate: true}, ""},
+		{"c negative", Config{N: 16, Algorithm: TightTau, C: -2, Simulate: true}, "Config.C"},
+		{"c fractional below one", Config{N: 16, Algorithm: TightTau, C: 0.5, Simulate: true}, "Config.C"},
+		{"c too large", Config{N: 16, Algorithm: TightTau, C: MaxC + 1, Simulate: true}, "Config.C"},
+		{"c NaN", Config{N: 16, Algorithm: TightTau, C: math.NaN(), Simulate: true}, "Config.C"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Rename(tc.cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted: %+v", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 
