@@ -3,11 +3,13 @@ package shmrename
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"shmrename/internal/longlived"
 	"shmrename/internal/prng"
+	"shmrename/internal/sharded"
 	"shmrename/internal/shm"
 )
 
@@ -25,6 +27,13 @@ const (
 	// algorithm: counting devices front blocks of names, and releases
 	// return both the name and the device bit.
 	ArenaTau ArenaBackend = "tau-longlived"
+	// ArenaBackendSharded is the striped multicore frontend: the name
+	// space is partitioned across ArenaConfig.Shards level-array
+	// sub-arenas, each goroutine keeps a cached home-shard affinity, and a
+	// full home shard overflows to ArenaConfig.StealProbes neighbor shards
+	// before a deterministic full sweep. Issued names stay within the
+	// shards × per-shard-bound tightness envelope (see NameBound).
+	ArenaBackendSharded ArenaBackend = "sharded"
 )
 
 // ArenaConfig parameterizes a long-lived renaming arena.
@@ -38,6 +47,18 @@ type ArenaConfig struct {
 	// Probes tunes the per-level random probe count (ArenaLevel) or the
 	// random device-attempt count (ArenaTau). 0 selects the default.
 	Probes int
+	// Shards is the stripe count of the sharded backend: the arena is
+	// partitioned into Shards independent sub-arenas so concurrent
+	// Acquire/Release traffic scales with cores. Only meaningful with
+	// ArenaBackendSharded (setting it with another backend is a config
+	// error). 0 selects GOMAXPROCS clamped to [1, Capacity]; explicit
+	// values must lie in [1, Capacity].
+	Shards int
+	// StealProbes bounds the work-stealing probes of the sharded backend:
+	// how many randomly chosen neighbor shards an acquire tries after its
+	// home shard reports full, before falling back to a full sweep. Only
+	// meaningful with ArenaBackendSharded. 0 selects the default (2).
+	StealProbes int
 	// Seed drives client-side randomness (probe targets).
 	Seed uint64
 }
@@ -87,6 +108,16 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 	if cfg.Probes < 0 {
 		return nil, fmt.Errorf("shmrename: ArenaConfig.Probes must be >= 0, got %d", cfg.Probes)
 	}
+	if cfg.Backend != ArenaBackendSharded {
+		if cfg.Shards != 0 {
+			return nil, fmt.Errorf("shmrename: ArenaConfig.Shards is only meaningful with the %q backend, got Shards=%d with backend %q",
+				ArenaBackendSharded, cfg.Shards, cfg.Backend)
+		}
+		if cfg.StealProbes != 0 {
+			return nil, fmt.Errorf("shmrename: ArenaConfig.StealProbes is only meaningful with the %q backend, got StealProbes=%d with backend %q",
+				ArenaBackendSharded, cfg.StealProbes, cfg.Backend)
+		}
+	}
 	var impl longlived.Arena
 	switch cfg.Backend {
 	case "", ArenaLevel:
@@ -100,6 +131,27 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 			Probes:      cfg.Probes,
 			MaxPasses:   acquirePasses,
 			SelfClocked: true,
+			Padded:      true,
+		})
+	case ArenaBackendSharded:
+		shards := cfg.Shards
+		if shards < 0 || shards > cfg.Capacity {
+			return nil, fmt.Errorf("shmrename: ArenaConfig.Shards must lie in [1, Capacity=%d], got %d", cfg.Capacity, shards)
+		}
+		if shards == 0 {
+			shards = runtime.GOMAXPROCS(0)
+			if shards > cfg.Capacity {
+				shards = cfg.Capacity
+			}
+		}
+		if cfg.StealProbes < 0 {
+			return nil, fmt.Errorf("shmrename: ArenaConfig.StealProbes must be >= 0, got %d", cfg.StealProbes)
+		}
+		impl = sharded.New(cfg.Capacity, sharded.Config{
+			Shards:      shards,
+			StealProbes: cfg.StealProbes,
+			MaxPasses:   acquirePasses,
+			Probes:      cfg.Probes,
 			Padded:      true,
 		})
 	default:
@@ -145,14 +197,16 @@ func (a *Arena) Acquire() (int, error) {
 }
 
 // Release returns an acquired name to the pool. Only the holder may release
-// a name; releasing a name that is not held returns ErrNotHeld (a
-// best-effort guard — the arena cannot tell holders apart).
+// a name; releasing a name that is not held returns an error wrapping
+// ErrNotHeld (a best-effort guard — the arena cannot tell holders apart).
+// An out-of-range name is by definition not held, so it reports ErrNotHeld
+// too, with the offending name and the valid range in the error text.
 func (a *Arena) Release(name int) error {
 	if name < 0 || name >= a.impl.NameBound() {
-		return fmt.Errorf("shmrename: name %d outside [0, %d)", name, a.impl.NameBound())
+		return fmt.Errorf("%w: name %d outside [0, %d)", ErrNotHeld, name, a.impl.NameBound())
 	}
 	if !a.impl.IsHeld(name) {
-		return ErrNotHeld
+		return fmt.Errorf("%w: name %d", ErrNotHeld, name)
 	}
 	p := a.proc()
 	a.impl.Release(p, name)

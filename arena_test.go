@@ -2,12 +2,14 @@ package shmrename
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
 
 func TestArenaBackends(t *testing.T) {
-	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau} {
+	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau, ArenaBackendSharded} {
 		a, err := NewArena(ArenaConfig{Capacity: 64, Backend: backend, Seed: 1})
 		if err != nil {
 			t.Fatalf("%q: %v", backend, err)
@@ -47,36 +49,41 @@ func TestArenaBackends(t *testing.T) {
 }
 
 func TestArenaConcurrentChurn(t *testing.T) {
-	a, err := NewArena(ArenaConfig{Capacity: 32, Seed: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var wg sync.WaitGroup
-	errs := make(chan error, 32)
-	for g := 0; g < 32; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := 0; c < 50; c++ {
-				n, err := a.Acquire()
-				if err != nil {
-					errs <- err
-					return
+	for _, cfg := range []ArenaConfig{
+		{Capacity: 32, Seed: 7},
+		{Capacity: 32, Seed: 7, Backend: ArenaBackendSharded, Shards: 4},
+	} {
+		a, err := NewArena(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 32)
+		for g := 0; g < 32; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := 0; c < 50; c++ {
+					n, err := a.Acquire()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := a.Release(n); err != nil {
+						errs <- err
+						return
+					}
 				}
-				if err := a.Release(n); err != nil {
-					errs <- err
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Fatal(err)
-	}
-	if a.Held() != 0 {
-		t.Fatalf("held %d after churn", a.Held())
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%s: %v", a.Backend(), err)
+		}
+		if a.Held() != 0 {
+			t.Fatalf("%s: held %d after churn", a.Backend(), a.Held())
+		}
 	}
 }
 
@@ -98,12 +105,36 @@ func TestArenaFullAndReleaseErrors(t *testing.T) {
 	if _, err := a.Acquire(); !errors.Is(err, ErrArenaFull) {
 		t.Fatalf("acquire on full arena: %v, want ErrArenaFull", err)
 	}
-	// Release validation.
-	if err := a.Release(-1); err == nil {
-		t.Fatal("negative name accepted")
+}
+
+// TestArenaReleaseOutOfRange pins the descriptive-error convention for
+// Release: an out-of-range name is not held, so the error wraps ErrNotHeld
+// and names the offending value and the valid range.
+func TestArenaReleaseOutOfRange(t *testing.T) {
+	a, err := NewArena(ArenaConfig{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := a.Release(a.NameBound()); err == nil {
-		t.Fatal("out-of-range name accepted")
+	bound := a.NameBound()
+	cases := []struct {
+		name int
+		want []string
+	}{
+		{-1, []string{"-1", fmt.Sprintf("[0, %d)", bound)}},
+		{-1 << 20, []string{fmt.Sprintf("%d", -1<<20)}},
+		{bound, []string{fmt.Sprintf("%d", bound), fmt.Sprintf("[0, %d)", bound)}},
+		{bound + 41, []string{fmt.Sprintf("%d", bound+41)}},
+	}
+	for _, tc := range cases {
+		err := a.Release(tc.name)
+		if !errors.Is(err, ErrNotHeld) {
+			t.Fatalf("Release(%d) = %v, want ErrNotHeld", tc.name, err)
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Fatalf("Release(%d) error %q missing %q", tc.name, err, frag)
+			}
+		}
 	}
 }
 
@@ -131,6 +162,14 @@ func TestNewArenaConfigErrors(t *testing.T) {
 		{Capacity: 1 << 29},
 		{Capacity: 8, Backend: "warp-array"},
 		{Capacity: 8, Probes: -1},
+		// Sharded-backend knob validation.
+		{Capacity: 8, Backend: ArenaBackendSharded, Shards: -1},
+		{Capacity: 8, Backend: ArenaBackendSharded, Shards: 9},
+		{Capacity: 8, Backend: ArenaBackendSharded, StealProbes: -1},
+		// Sharded knobs rejected on non-sharded backends.
+		{Capacity: 8, Shards: 2},
+		{Capacity: 8, Backend: ArenaTau, Shards: 2},
+		{Capacity: 8, Backend: ArenaLevel, StealProbes: 1},
 	}
 	for i, cfg := range cases {
 		if _, err := NewArena(cfg); err == nil {

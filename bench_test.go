@@ -1,11 +1,11 @@
 package shmrename
 
 // Benchmark harness: one benchmark per reproduction experiment E1-E12
-// (DESIGN.md §6) plus native multicore wall-clock benchmarks. Each
+// (ALGORITHMS.md §6) plus native multicore wall-clock benchmarks. Each
 // iteration executes a complete renaming instance with a fresh seed and
 // reports the step complexity of the execution alongside wall-clock time,
 // so `go test -bench=. -benchmem` regenerates the measured columns of
-// EXPERIMENTS.md at benchmark scale.
+// the experiment tables (ALGORITHMS.md §6) at benchmark scale.
 
 import (
 	"fmt"
@@ -19,6 +19,7 @@ import (
 	"shmrename/internal/longlived"
 	"shmrename/internal/prng"
 	"shmrename/internal/sched"
+	"shmrename/internal/sharded"
 	"shmrename/internal/shm"
 	"shmrename/internal/sortnet"
 	"shmrename/internal/tas"
@@ -315,7 +316,7 @@ func BenchmarkSortnetVariants(b *testing.B) {
 // BenchmarkAblationTightC sweeps the cluster constant c (the "suitably
 // large constant" of §III): larger c means more requests per block and
 // fewer fallback stragglers, but more rounds. The steps/proc-max metric
-// exposes the trade-off DESIGN.md calls out.
+// exposes the trade-off ALGORITHMS.md §3 calls out.
 func BenchmarkAblationTightC(b *testing.B) {
 	const n = 1 << 12
 	for _, c := range []float64{1, 2, 4, 8} {
@@ -424,7 +425,7 @@ func BenchmarkChurnSim(b *testing.B) {
 // BenchmarkChurnNative measures public-API arena churn on real goroutines:
 // each iteration is one full acquire/release cycle per worker.
 func BenchmarkChurnNative(b *testing.B) {
-	for _, backend := range []ArenaBackend{ArenaLevel, ArenaTau} {
+	for _, backend := range []ArenaBackend{ArenaLevel, ArenaTau, ArenaBackendSharded} {
 		b.Run(string(backend), func(b *testing.B) {
 			arena, err := NewArena(ArenaConfig{Capacity: 256, Backend: backend, Seed: 1})
 			if err != nil {
@@ -448,6 +449,48 @@ func BenchmarkChurnNative(b *testing.B) {
 			if p := firstErr.Load(); p != nil {
 				b.Fatal(*p)
 			}
+		})
+	}
+}
+
+// BenchmarkShardedNative is the headline benchmark of the striped frontend:
+// tight provisioning (capacity = workers), every worker cycling
+// acquire/yield/release so the arena runs at full occupancy. shards=0 is
+// the unsharded level-array baseline; the steps/acquire metric carries the
+// machine-independent structural cost (home-shard scans are capacity/S
+// long instead of capacity).
+func BenchmarkShardedNative(b *testing.B) {
+	const workers = 64
+	churn := longlived.ChurnConfig{Cycles: 50, Yield: true}
+	run := func(b *testing.B, mk func() longlived.Arena) {
+		b.Helper()
+		var steps float64
+		for i := 0; i < b.N; i++ {
+			arena := mk()
+			mon := longlived.NewMonitor(arena.NameBound())
+			sched.RunNative(workers, uint64(i), longlived.ChurnBody(arena, mon, churn))
+			if err := mon.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if held := arena.Held(); held != 0 {
+				b.Fatalf("%d names held after drain", held)
+			}
+			steps += mon.StepsPerAcquire()
+		}
+		b.ReportMetric(steps/float64(b.N), "steps/acquire")
+	}
+	b.Run("shards=0", func(b *testing.B) {
+		run(b, func() longlived.Arena {
+			return longlived.NewLevel(workers, longlived.LevelConfig{Padded: true, Label: "bench-single"})
+		})
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			run(b, func() longlived.Arena {
+				return sharded.New(workers, sharded.Config{
+					Shards: shards, Padded: true, Label: fmt.Sprintf("bench-s%d", shards),
+				})
+			})
 		})
 	}
 }

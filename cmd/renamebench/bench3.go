@@ -1,0 +1,228 @@
+package main
+
+// BENCH_3.json generation: native scalability of the public long-lived
+// arena, single backend vs the sharded frontend. The workload is tight
+// provisioning — the arena's capacity equals the goroutine count, the way
+// a slot table is sized to its worker fleet — with every goroutine cycling
+// acquire / hold (yield) / release, so the arena runs at full occupancy
+// and every acquire searches for one of the few transiently free slots.
+// In that regime the single level-array degenerates to an O(capacity)
+// backstop scan per acquire, while the sharded frontend scans only its
+// home shard (capacity/shards) and home-shard affinity routes a releaser
+// straight back to its own freed slot. Subsequent perf PRs regenerate the
+// file with -bench3; the best sharded row must keep beating the
+// single-backend row at >= 4 goroutines.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shmrename"
+)
+
+// bench3Point is one measured (backend, shards, goroutines) cell.
+type bench3Point struct {
+	Backend      string  `json:"backend"`
+	Shards       int     `json:"shards"` // 0 = unsharded single backend
+	Goroutines   int     `json:"goroutines"`
+	Capacity     int     `json:"capacity"`
+	Cycles       int     `json:"cycles"`
+	Acquires     int64   `json:"acquires"`
+	NsPerAcquire float64 `json:"ns_per_acquire"`
+	KAcqPerSec   float64 `json:"kacq_per_sec"`
+	MaxName      int64   `json:"max_name"`
+	NameBound    int     `json:"name_bound"`
+	FullRetries  int64   `json:"full_retries"`
+}
+
+// bench3Speedup summarizes the headline comparison per goroutine count:
+// the best sharded cell of the shard-count sweep against the single
+// backend (picking the stripe count is part of deploying the sharded
+// frontend, exactly like picking Capacity).
+type bench3Speedup struct {
+	Goroutines  int     `json:"goroutines"`
+	SingleKAcqS float64 `json:"single_kacq_per_sec"`
+	BestShards  int     `json:"best_shards"`
+	BestKAcqS   float64 `json:"best_sharded_kacq_per_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type bench3File struct {
+	Description string          `json:"description"`
+	GoOS        string          `json:"goos"`
+	GoArch      string          `json:"goarch"`
+	GoMaxProcs  int             `json:"gomaxprocs"`
+	Seed        uint64          `json:"seed"`
+	Results     []bench3Point   `json:"results"`
+	Speedups    []bench3Speedup `json:"speedups"`
+}
+
+// bench3Runs is the number of timed runs per cell; the best is recorded
+// (least scheduler noise on a shared builder).
+const bench3Runs = 5
+
+// bench3Cycles sizes the per-worker cycle count so each timed run performs
+// roughly the same total work regardless of the goroutine count.
+func bench3Cycles(g int) int {
+	c := 1 << 17 / g
+	if c < 256 {
+		c = 256
+	}
+	return c
+}
+
+// bench3Cell measures one tightly provisioned arena configuration: G
+// goroutines on a capacity-G arena, each cycling acquire / yield-while-
+// holding / release.
+func bench3Cell(cfg shmrename.ArenaConfig, g int) (bench3Point, error) {
+	cycles := bench3Cycles(g)
+	p := bench3Point{
+		Backend:    string(cfg.Backend),
+		Shards:     cfg.Shards,
+		Goroutines: g,
+		Capacity:   cfg.Capacity,
+		Cycles:     cycles,
+	}
+	if p.Backend == "" {
+		p.Backend = string(shmrename.ArenaLevel)
+	}
+	var best time.Duration
+	for run := 0; run < bench3Runs; run++ {
+		arena, err := shmrename.NewArena(cfg)
+		if err != nil {
+			return p, err
+		}
+		p.NameBound = arena.NameBound()
+		var maxName, fullRetries atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				top := int64(-1)
+				for c := 0; c < cycles; c++ {
+					var n int
+					for {
+						var err error
+						n, err = arena.Acquire()
+						if err == nil {
+							break
+						}
+						// Transient full under racing churn: back off and
+						// retry; it is counted, not fatal.
+						fullRetries.Add(1)
+						runtime.Gosched()
+					}
+					if int64(n) > top {
+						top = int64(n)
+					}
+					runtime.Gosched() // hold the name while others run
+					if err := arena.Release(n); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+				for {
+					cur := maxName.Load()
+					if top <= cur || maxName.CompareAndSwap(cur, top) {
+						break
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if e := firstErr.Load(); e != nil {
+			return p, *e
+		}
+		if held := arena.Held(); held != 0 {
+			return p, fmt.Errorf("%d names held after drain", held)
+		}
+		if run == 0 || elapsed < best {
+			best = elapsed
+			// Rate fields describe the recorded (best) run only.
+			p.FullRetries = fullRetries.Load()
+		}
+		if m := maxName.Load(); m > p.MaxName {
+			p.MaxName = m
+		}
+	}
+	p.Acquires = int64(g) * int64(cycles)
+	p.NsPerAcquire = float64(best.Nanoseconds()) / float64(p.Acquires)
+	p.KAcqPerSec = float64(p.Acquires) / best.Seconds() / 1e3
+	return p, nil
+}
+
+// runBench3 measures the native scalability sweep and writes the JSON file.
+func runBench3(path string, seed uint64, maxG int) error {
+	if maxG < 4 || maxG > 4096 {
+		return fmt.Errorf("bench3: -bench3-maxg %d must lie in [4, 4096]", maxG)
+	}
+	out := bench3File{
+		Description: fmt.Sprintf("native arena scalability under tight provisioning: G goroutines churn a capacity-G arena (acquire/yield/release), single level-array backend vs the sharded frontend sweeping shard counts; best of %d runs per cell; regenerate with: renamebench -bench3 %s", bench3Runs, path),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Seed:        seed,
+	}
+	single := make(map[int]float64)
+	bestShards := make(map[int]int)
+	bestKAcqS := make(map[int]float64)
+	var gs []int
+	for g := 4; g <= maxG; g *= 4 {
+		gs = append(gs, g)
+	}
+	for _, g := range gs {
+		cells := []shmrename.ArenaConfig{
+			{Capacity: g, Backend: shmrename.ArenaLevel, Seed: seed},
+		}
+		for _, s := range []int{1, 2, 4, 8} {
+			if s > g {
+				continue
+			}
+			cells = append(cells, shmrename.ArenaConfig{
+				Capacity: g,
+				Backend:  shmrename.ArenaBackendSharded,
+				Shards:   s,
+				Seed:     seed,
+			})
+		}
+		for _, cfg := range cells {
+			p, err := bench3Cell(cfg, g)
+			if err != nil {
+				return fmt.Errorf("bench3 %s shards=%d g=%d: %w", cfg.Backend, cfg.Shards, g, err)
+			}
+			out.Results = append(out.Results, p)
+			if cfg.Backend == shmrename.ArenaLevel {
+				single[g] = p.KAcqPerSec
+			}
+			if cfg.Backend == shmrename.ArenaBackendSharded && p.KAcqPerSec > bestKAcqS[g] {
+				bestKAcqS[g] = p.KAcqPerSec
+				bestShards[g] = cfg.Shards
+			}
+			fmt.Fprintf(os.Stderr, "bench3: %-11s shards=%d g=%-4d: %8.1f kacq/s, %6.1f ns/acquire, max name %d/%d\n",
+				p.Backend, p.Shards, g, p.KAcqPerSec, p.NsPerAcquire, p.MaxName, p.NameBound)
+		}
+	}
+	for _, g := range gs {
+		out.Speedups = append(out.Speedups, bench3Speedup{
+			Goroutines:  g,
+			SingleKAcqS: single[g],
+			BestShards:  bestShards[g],
+			BestKAcqS:   bestKAcqS[g],
+			Speedup:     bestKAcqS[g] / single[g],
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,5 +1,5 @@
 // Command renamebench regenerates the paper-reproduction experiments
-// E1-E12 (see DESIGN.md §6 and EXPERIMENTS.md) and prints their report
+// E1-E16 (see ALGORITHMS.md §6) and prints their report
 // tables.
 //
 // Usage:
@@ -36,6 +36,8 @@ func main() {
 		bench1A = flag.String("bench1-against", "", "baseline BENCH_1.json to compare -bench1 results against; exits nonzero on steps/proc-max regression")
 		bench2  = flag.String("bench2", "", "write the BENCH_2.json churn trajectory to this path and exit")
 		bench2N = flag.Int("bench2-maxexp", 14, "largest log2(n) for -bench2 sweeps")
+		bench3  = flag.String("bench3", "", "write the BENCH_3.json native sharded-scalability sweep to this path and exit")
+		bench3G = flag.Int("bench3-maxg", 64, "largest goroutine count for -bench3 sweeps (x4 from 4)")
 	)
 	flag.Parse()
 
@@ -54,6 +56,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("bench2 churn trajectory written to %s\n", *bench2)
+		return
+	}
+
+	if *bench3 != "" {
+		if err := runBench3(*bench3, *seed, *bench3G); err != nil {
+			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench3 native scalability sweep written to %s\n", *bench3)
 		return
 	}
 

@@ -20,7 +20,7 @@
 // Baselines from the literature (sorting-network renaming, uniform
 // probing, deterministic linear scan, software test-and-set) are included
 // for comparison, along with a deterministic adversarial scheduler, an
-// experiment harness regenerating every claim (see EXPERIMENTS.md), and
+// experiment harness regenerating every claim (see ALGORITHMS.md §6), and
 // wall-clock benchmarks.
 //
 // # Quick start
@@ -58,12 +58,38 @@
 // slot (expected under over-subscription, and possible — though
 // vanishingly unlikely — when sustained churn races every pass). Only
 // the holder of a name may Release it, and a name must not be used after
-// its release. Two backends exist: ArenaLevel (LevelArray-style levels of
-// packed TAS bitmaps whose issued names track the instantaneous
-// occupancy) and ArenaTau (the §III τ-register algorithm adapted with
-// releasable counting-device bits). Releases are shm.OpClear operations
-// in the kernel, so the adversarial simulator covers churn schedules; the
-// E15 harness experiment and BENCH_2.json record the workload.
+// its release. Three backends exist: ArenaLevel (LevelArray-style levels
+// of packed TAS bitmaps whose issued names track the instantaneous
+// occupancy), ArenaTau (the §III τ-register algorithm adapted with
+// releasable counting-device bits), and ArenaBackendSharded (below).
+// Releases are shm.OpClear operations in the kernel, so the adversarial
+// simulator covers churn schedules; the E15 harness experiment and
+// BENCH_2.json record the workload.
+//
+// # Sharded arenas for multicore traffic
+//
+// The level and τ backends funnel every operation through one shared
+// structure, so concurrent goroutine traffic serializes on its bitmap
+// words. The sharded backend stripes the arena across
+// ArenaConfig.Shards independent sub-arenas owning disjoint name ranges:
+//
+//	arena, err := shmrename.NewArena(shmrename.ArenaConfig{
+//		Capacity: 1024,
+//		Backend:  shmrename.ArenaBackendSharded,
+//		Shards:   8, // 0 = GOMAXPROCS
+//	})
+//
+// Acquire tries the caller's cached home shard first (one bounded pass),
+// then steals from ArenaConfig.StealProbes randomly chosen other shards,
+// and finally sweeps all shards deterministically — so the termination
+// and safety contracts match the single-backend arena exactly, while
+// disjoint shards keep concurrent claimers on disjoint cache lines and
+// cut the per-acquire scan from O(Capacity) to O(Capacity/Shards) under
+// tight provisioning. The price is name tightness: issued names lie
+// within the shards × per-shard-bound envelope reported by
+// Arena.NameBound (ALGORITHMS.md §8 discusses the trade-off). Experiment
+// E16 and BENCH_3.json measure the native scalability; see PERF.md for
+// regeneration instructions.
 //
 // # Execution modes and cost model
 //

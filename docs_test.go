@@ -1,0 +1,98 @@
+package shmrename
+
+// Documentation integrity tests: every relative markdown link in the
+// repository's documentation must resolve to a file that exists, so the
+// paper→code map and the perf docs cannot silently rot as files move.
+// The CI docs job runs these alongside the exported-identifier doc-comment
+// checks.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) markdown links. Images and reference-style
+// links do not occur in this repository's docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// docFiles returns the repository's markdown files.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+func TestDocLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip intra-file anchors from relative links.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s: broken relative link %q: %v", file, m[1], err)
+			}
+		}
+	}
+}
+
+// expID matches a whole experiment id (E1..E16 style), so "E1" cannot be
+// satisfied by an occurrence of "E10".
+var expID = regexp.MustCompile(`\bE(\d+)\b`)
+
+// TestDocsNameRealExperiments pins the paper→code map's experiment index
+// to the registry: every experiment id the harness exposes must be
+// documented in ALGORITHMS.md, and the map must not advertise ids that do
+// not exist.
+func TestDocsNameRealExperiments(t *testing.T) {
+	data, err := os.ReadFile("ALGORITHMS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	const known = 16 // E1..E16, matching harness.All()
+	mentioned := make(map[int]bool)
+	for _, m := range expID.FindAllStringSubmatch(text, -1) {
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatalf("unparseable experiment id %q", m[0])
+		}
+		if n < 1 || n > known {
+			t.Errorf("ALGORITHMS.md advertises nonexistent experiment E%d", n)
+		}
+		mentioned[n] = true
+	}
+	for n := 1; n <= known; n++ {
+		if !mentioned[n] {
+			t.Errorf("ALGORITHMS.md missing experiment E%d", n)
+		}
+	}
+	for _, ref := range []string{"internal/taureg", "internal/longlived",
+		"internal/sched", "internal/sharded", "internal/core"} {
+		if !strings.Contains(text, ref) {
+			t.Errorf("ALGORITHMS.md missing package reference %s", ref)
+		}
+	}
+}

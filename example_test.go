@@ -100,6 +100,39 @@ func ExampleNewArena() {
 	// within bound: true
 }
 
+// ExampleNewArena_sharded runs the striped multicore frontend: the name
+// space is partitioned across four independent shards, acquires route
+// through a cached home shard with work-stealing overflow, and names stay
+// within the shards x per-shard-bound envelope.
+func ExampleNewArena_sharded() {
+	arena, err := shmrename.NewArena(shmrename.ArenaConfig{
+		Capacity: 64,
+		Backend:  shmrename.ArenaBackendSharded,
+		Shards:   4,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Fill the arena to its guaranteed capacity: every acquire succeeds
+	// and no two concurrently held names collide, across all shards.
+	seen := make(map[int]bool)
+	for i := 0; i < arena.Capacity(); i++ {
+		n, err := arena.Acquire()
+		if err != nil {
+			panic(err)
+		}
+		seen[n] = true
+	}
+	fmt.Println("backend:", arena.Backend())
+	fmt.Println("distinct names:", len(seen))
+	fmt.Println("within envelope:", arena.NameBound() <= 4*arena.Capacity())
+	// Output:
+	// backend: sharded-level(shards=4,steal=2)
+	// distinct names: 64
+	// within envelope: true
+}
+
 // ExampleCountingDevice elects a bounded committee: no matter how many
 // contenders race, at most τ win.
 func ExampleCountingDevice() {

@@ -1,0 +1,106 @@
+// Sharded: a worker pool on the striped multicore arena frontend. A fleet
+// of goroutines serves a stream of jobs; each job needs a compact session
+// slot for its lifetime (a dense index into per-slot state — the
+// long-lived analogue of the workerpool example). Slots come from the
+// sharded arena backend: the name space is striped across shards, every
+// worker keeps a cached home-shard affinity, and a full home shard
+// overflows to neighbor shards via bounded work-stealing — so slot churn
+// scales with cores instead of serializing on one bitmap.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"shmrename"
+)
+
+const (
+	workers = 64
+	jobs    = 20000
+)
+
+// slotState is the dense per-slot record a session writes while holding
+// its slot; distinct live slots mean no two sessions ever share a record.
+type slotState struct {
+	jobsServed atomic.Int64
+}
+
+func main() {
+	// Provision the arena tightly: exactly one slot per worker, striped.
+	arena, err := shmrename.NewArena(shmrename.ArenaConfig{
+		Capacity: workers,
+		Backend:  shmrename.ArenaBackendSharded,
+		Shards:   8, // 0 would select GOMAXPROCS
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	state := make([]slotState, arena.NameBound())
+
+	var wg sync.WaitGroup
+	var served, maxSlot atomic.Int64
+	maxSlot.Store(-1)
+	queue := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range queue {
+				// One acquire/release cycle per job: the slot is unique
+				// among live holders for exactly the job's lifetime.
+				// ErrArenaFull is retryable backpressure (sustained churn
+				// can race every scan pass even below capacity).
+				var slot int
+				for {
+					var err error
+					slot, err = arena.Acquire()
+					if err == nil {
+						break
+					}
+					runtime.Gosched()
+				}
+				state[slot].jobsServed.Add(1)
+				served.Add(1)
+				for {
+					cur := maxSlot.Load()
+					if int64(slot) <= cur || maxSlot.CompareAndSwap(cur, int64(slot)) {
+						break
+					}
+				}
+				runtime.Gosched() // the job's work happens here
+				if err := arena.Release(slot); err != nil {
+					log.Fatalf("release slot %d: %v", slot, err)
+				}
+			}
+		}()
+	}
+	for j := 0; j < jobs; j++ {
+		queue <- j
+	}
+	close(queue)
+	wg.Wait()
+
+	if held := arena.Held(); held != 0 {
+		log.Fatalf("%d slots still held after drain", held)
+	}
+	total := int64(0)
+	used := 0
+	for i := range state {
+		if n := state[i].jobsServed.Load(); n > 0 {
+			total += n
+			used++
+		}
+	}
+	fmt.Printf("backend          : %s\n", arena.Backend())
+	fmt.Printf("workers / jobs   : %d / %d\n", workers, jobs)
+	fmt.Printf("jobs served      : %d (per-slot records agree: %v)\n", total, total == served.Load())
+	fmt.Printf("slots touched    : %d of bound %d\n", used, arena.NameBound())
+	fmt.Printf("largest slot     : %d (envelope: shards x per-shard bound = %d)\n",
+		maxSlot.Load(), arena.NameBound())
+	fmt.Printf("all slots free   : %v\n", arena.Held() == 0)
+}

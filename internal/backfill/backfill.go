@@ -8,7 +8,7 @@
 // composition; the stragglers are few and their name space has factor-2
 // slack, so a uniform probe succeeds with probability at least 1/2 per
 // step and the measured cost stays far below the Lemma 6/8 terms. This
-// package supplies that substitute (documented in DESIGN.md §5):
+// package supplies that substitute (documented in ALGORITHMS.md §4):
 //
 //   - Uniform: repeat { TAS a uniformly random name } until won. Expected
 //     O(1) steps per process on a half-empty space; unbounded worst case.

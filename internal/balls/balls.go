@@ -1,7 +1,7 @@
 // Package balls provides the balls-into-bins machinery behind Lemma 3 of
 // the paper (throwing 2c·log n balls into 2·log n bins leaves at most
 // log n empty bins w.h.p.) and the Chernoff calculators of Lemma 1, used
-// by experiment E1 and by the report tables of EXPERIMENTS.md.
+// by experiment E1 (ALGORITHMS.md §6).
 package balls
 
 import (

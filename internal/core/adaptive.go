@@ -25,7 +25,7 @@ import (
 // the name of a process that entered among k participants lies in
 // [0, O(k)) w.h.p.; per-process step complexity is O(log k) w.h.p. — the
 // simple doubling transform, not the O((log log k)²) machinery of [8],
-// which is its own paper (see DESIGN.md §5).
+// which is its own paper (see ALGORITHMS.md §5).
 type Adaptive struct {
 	capacity int // upper bound on participants (sizes the arena only)
 	levels   int

@@ -17,7 +17,7 @@ const (
 	// that the analysis of Lemma 4 actually supports: cluster bit counts
 	// c₁ = n/c, c_{i+1} = c_i·(1-1/(2c)), summing to 2n, so that every
 	// block receives ~2c·log n requests per round and total name capacity
-	// is exactly n. See DESIGN.md §4 for the reconciliation.
+	// is exactly n. See ALGORITHMS.md §3 for the reconciliation.
 	Corrected GeometryKind = iota
 	// PaperLiteral is the cluster sequence exactly as printed in the
 	// paper, c_i = n/(2c)^i with R from Definition 2(1). Its clusters can

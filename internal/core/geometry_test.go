@@ -95,7 +95,7 @@ func TestCorrectedGeometryRequestRate(t *testing.T) {
 func TestPaperLiteralGeometryDeficit(t *testing.T) {
 	// The literal Definition 2 sizes cover only ~n/(2(2c-1)) names through
 	// clusters; the rest must sit in reserve. This is the documented
-	// inconsistency (DESIGN.md §4).
+	// inconsistency (ALGORITHMS.md §3).
 	n, c := 1<<16, 2.0
 	g := NewGeometry(n, c, PaperLiteral)
 	if got := g.TotalNames(); got != n {

@@ -225,7 +225,7 @@ func NewLooseClustersOn(n int, cfg ClustersConfig, space shm.ClaimSpace) *LooseC
 	// every cluster; those names could never be assigned and the survivor
 	// count could never drop below n/log n, contradicting the Lemma 8
 	// bound for ℓ >= 2. The analysis only needs the last cluster to be
-	// Θ(n/log n) large, so it absorbs the remainder (see DESIGN.md §4).
+	// Θ(n/log n) large, so it absorbs the remainder (see ALGORITHMS.md §4).
 	if off < n && len(a.sizes) > 0 {
 		a.sizes[len(a.sizes)-1] += n - off
 	}

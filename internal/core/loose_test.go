@@ -98,7 +98,7 @@ func TestLooseClustersClusterLayout(t *testing.T) {
 	}
 	// The clusters must cover the whole space: the printed sizes leave
 	// n/log n registers unreachable, which would contradict the Lemma 8
-	// survivor bound for l >= 2 (see DESIGN.md §4); the last cluster
+	// survivor bound for l >= 2 (see ALGORITHMS.md §4); the last cluster
 	// absorbs the remainder.
 	if total != n {
 		t.Fatalf("clusters occupy %d registers, want exactly n = %d", total, n)

@@ -9,7 +9,7 @@ import (
 
 // runTight executes a tight instance under the fair FIFO schedule with
 // self-clocked devices (observably equivalent to the external hardware
-// clock — see DESIGN.md §3 — and much cheaper to simulate).
+// clock — see ALGORITHMS.md §2 — and much cheaper to simulate).
 func runTight(t *testing.T, n int, cfg TightConfig, seed uint64) (*Tight, []sched.Result) {
 	t.Helper()
 	cfg.SelfClocked = true

@@ -77,7 +77,7 @@ func expE6() Experiment {
 				"survivors p50", "survivors max", "bound n/(log n)^l", "within bound")
 			tab.Note = "gamma scales the per-phase step count; the paper's literal " +
 				"constant (gamma=1) misses its l=2 bound by ~1.3x at these n, " +
-				"gamma=2 restores it (finite-size constants; see EXPERIMENTS.md)"
+				"gamma=2 restores it (finite-size constants; see ALGORITHMS.md §4)"
 			type point struct {
 				ell   int
 				gamma float64

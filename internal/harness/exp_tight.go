@@ -84,7 +84,7 @@ func expE3() Experiment {
 }
 
 // expE12 contrasts the corrected geometry with the paper-literal cluster
-// sizes, demonstrating the Definition 2 inconsistency (DESIGN.md §4).
+// sizes, demonstrating the Definition 2 inconsistency (ALGORITHMS.md §3).
 func expE12() Experiment {
 	return Experiment{
 		ID:    "E12",

@@ -1,8 +1,9 @@
-// Package harness defines the experiment suite E1-E12 that regenerates
-// every quantitative claim of the paper (see DESIGN.md §6 for the index).
-// Each experiment sweeps its parameters over seeded trials, verifies
-// correctness of every execution, and emits report tables consumed by
-// cmd/renamebench and recorded in EXPERIMENTS.md.
+// Package harness defines the experiment suite E1-E16: one reproducible
+// experiment per quantitative claim of the paper plus the repository's
+// extensions (long-lived churn, the sharded multicore frontend); see
+// ALGORITHMS.md §6 for the index. Each experiment sweeps its parameters
+// over seeded trials, verifies correctness of every execution, and emits
+// report tables consumed by cmd/renamebench.
 package harness
 
 import (
@@ -20,7 +21,7 @@ type Config struct {
 	Trials int
 	// Seed is the base seed; trial t of a sweep uses Seed+t.
 	Seed uint64
-	// Full widens the n-sweeps to the sizes used for EXPERIMENTS.md
+	// Full widens the n-sweeps to report scale
 	// (minutes instead of seconds).
 	Full bool
 }
@@ -57,7 +58,7 @@ func All() []Experiment {
 	return []Experiment{
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
-		expE13(), expE14(), expE15(),
+		expE13(), expE14(), expE15(), expE16(),
 	}
 }
 

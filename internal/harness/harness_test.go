@@ -11,7 +11,7 @@ import (
 func tiny() Config { return Config{Trials: 2, Seed: 11} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -275,6 +275,39 @@ func TestE15ChurnInvariants(t *testing.T) {
 			if ratio > 16 {
 				t.Fatalf("E15 level arena name/active ratio %.1f too large: %v", ratio, row)
 			}
+		}
+	}
+}
+
+func TestE16ShardedInvariants(t *testing.T) {
+	tabs := checkTables(t, "E16")
+	for _, row := range tabs[0].Rows {
+		// Every cell drained its full churn: workers x cycles x trials.
+		g, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad goroutines cell %q: %v", row[2], err)
+		}
+		acquires, err := strconv.Atoi(row[4])
+		if err != nil {
+			t.Fatalf("bad acquires cell %q: %v", row[4], err)
+		}
+		if want := g * e16Churn.Cycles * tiny().Trials; acquires != want {
+			t.Fatalf("E16 row acquires %d, want %d: %v", acquires, want, row)
+		}
+		// The tightness envelope: issued names stay below the arena bound,
+		// and under tight provisioning peak occupancy reaches the capacity.
+		maxName, err := strconv.Atoi(row[7])
+		if err != nil {
+			t.Fatalf("bad max-name cell %q: %v", row[7], err)
+		}
+		capacity, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("bad capacity cell %q: %v", row[3], err)
+		}
+		// Level ladders bound issued names by < 4x capacity (single and
+		// striped alike; see LevelArena).
+		if maxName > 4*capacity {
+			t.Fatalf("E16 max name %d blows the 4x capacity envelope: %v", maxName, row)
 		}
 	}
 }

@@ -41,6 +41,7 @@ package longlived
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"shmrename/internal/shm"
@@ -182,6 +183,14 @@ type ChurnConfig struct {
 	// worker's seeded randomness, which models seeded arrival/departure
 	// churn: staggered hold times interleave releases with acquires.
 	HoldMin, HoldMax int
+	// Yield makes the worker yield the processor (runtime.Gosched) while
+	// holding its name, so that in native runs other goroutines proceed
+	// while the name is held and the instantaneous occupancy approaches
+	// the worker count even on few cores. Simulated runs are unaffected
+	// (scheduling there is decided by the gate, not the Go runtime).
+	// E16 and the native scalability benchmarks set it; the canonical
+	// simulated workload (DefaultChurn) leaves it off.
+	Yield bool
 }
 
 // DefaultChurn is the canonical churn workload. The E15 harness
@@ -228,6 +237,9 @@ func ChurnBody(a Arena, mon *Monitor, cfg ChurnConfig) func(p *shm.Proc) int {
 			hold := cfg.HoldMin
 			if cfg.HoldMax > cfg.HoldMin {
 				hold += r.Intn(cfg.HoldMax - cfg.HoldMin + 1)
+			}
+			if cfg.Yield {
+				runtime.Gosched()
 			}
 			for h := 0; h < hold; h++ {
 				a.Touch(p, name)

@@ -108,7 +108,7 @@ func FitLinear(x, y []float64) Fit {
 }
 
 // FitAgainst fits measured values y(n) against shape(n): y ≈ A + B·shape(n).
-// It is how EXPERIMENTS.md decides whether step complexity grows like
+// It is how the harness experiments decide whether step complexity grows like
 // log n versus (log log n)^ℓ: the better-matching shape has R² closer to 1.
 func FitAgainst(ns []int, y []float64, shape func(n int) float64) Fit {
 	x := make([]float64, len(ns))

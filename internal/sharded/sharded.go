@@ -1,0 +1,344 @@
+// Package sharded provides the striped frontend of the long-lived
+// renaming arena: the name space is partitioned across S independent
+// sub-arenas (package longlived backends), so that concurrent Acquire and
+// Release traffic from real goroutines scales with cores instead of
+// serializing on one backend's shared bitmap words.
+//
+// # Why stripe
+//
+// A single longlived.LevelArena funnels every claimer through the same
+// level-0 bitmap words: on real cores that is CAS contention and — at high
+// occupancy — a backstop scan of the full capacity on every acquire. The
+// LevelArray paper (Alistarh et al., arXiv:1405.5461) shows long-lived
+// renaming is won or lost on exactly this contention behavior. Striping
+// gives each core its own ladder: per-shard capacity is capacity/S, so the
+// per-shard ladder is shorter, the per-shard backstop scan is S times
+// smaller, and claimers on different shards touch disjoint cache lines.
+//
+// # Affinity, stealing, sweep
+//
+// Acquire runs a three-tier protocol:
+//
+//  1. Home shard: every process has a cached home-shard affinity (its last
+//     success site, seeded by PID modulo S). One bounded pass over the home
+//     sub-arena resolves the common case with zero cross-shard traffic.
+//  2. Work stealing: on a full home shard, up to StealProbes randomly
+//     chosen other shards are each tried with one bounded pass. A hit
+//     migrates the affinity, so load imbalance self-corrects.
+//  3. Full sweep: deterministic rotation over all shards starting at the
+//     home shard, up to MaxPasses rounds — the termination guarantee,
+//     exactly mirroring the single arena's backstop contract.
+//
+// Release locates the owning shard from the name alone (shards own disjoint
+// contiguous name ranges) and also re-targets the releaser's affinity at
+// that shard: a freed slot is the best known hint for where the next
+// acquire will succeed, which under tight provisioning routes a releaser
+// straight back to its own freed slot.
+//
+// # Name tightness envelope
+//
+// Striping trades name tightness for throughput, the trade-off framed by
+// "Space Bounds for Adaptive Renaming" (Helmi, Higham, Woelfel,
+// arXiv:1603.04067): issued names lie in [0, NameBound) with
+// NameBound = Σ_s subBound(s) ≤ S × subBound_max — i.e. the documented
+// `shards × per-shard bound` envelope. With level sub-arenas
+// subBound(s) < 4·⌈capacity/S⌉, so the global bound stays below
+// 4·capacity + 4·S; low per-shard occupancy still concentrates names at
+// the bottom of each shard's range, so the largest issued name tracks
+// occupancy per stripe rather than globally.
+//
+// Both execution modes are supported: every operation flows through
+// *shm.Proc exactly as in the sub-arenas, so the deterministic adversarial
+// simulator schedules sharded churn bit-reproducibly, and native goroutines
+// run the same code on sync/atomic.
+package sharded
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/shm"
+)
+
+// SubBackend selects the per-shard arena implementation.
+type SubBackend uint8
+
+// Per-shard backends.
+const (
+	// SubLevel stripes longlived.LevelArena sub-arenas (the default).
+	SubLevel SubBackend = iota
+	// SubTau stripes longlived.TauArena sub-arenas.
+	SubTau
+)
+
+// String returns the report label of the sub-backend.
+func (s SubBackend) String() string {
+	switch s {
+	case SubLevel:
+		return "level"
+	case SubTau:
+		return "tau"
+	default:
+		return fmt.Sprintf("sub(%d)", uint8(s))
+	}
+}
+
+// Config parameterizes a sharded arena.
+type Config struct {
+	// Shards is the stripe count S (required, >= 1). Each shard is an
+	// independent sub-arena guaranteeing ⌈capacity/S⌉ concurrent holders.
+	Shards int
+	// StealProbes is the number of randomly chosen other shards tried
+	// after the home shard fails, before the deterministic full sweep.
+	// Default 2.
+	StealProbes int
+	// MaxPasses bounds full sweeps over all shards before Acquire reports
+	// the arena full; 0 means unlimited (simulated runs rely on the
+	// scheduler's step budget instead).
+	MaxPasses int
+	// Sub selects the per-shard backend. Default SubLevel.
+	Sub SubBackend
+	// Probes is forwarded to each sub-arena (longlived.LevelConfig.Probes
+	// or longlived.TauConfig.Probes). 0 selects the sub-arena default.
+	Probes int
+	// Padded forwards the cache-line-padded bitmap layout to every shard,
+	// for native runs on real cores.
+	Padded bool
+	// Label prefixes the operation-space labels. Default "sharded".
+	Label string
+}
+
+func (c *Config) fill() {
+	if c.StealProbes <= 0 {
+		c.StealProbes = 2
+	}
+	if c.Label == "" {
+		c.Label = "sharded"
+	}
+}
+
+// affinitySlots sizes the home-shard affinity cache. It is a power of two;
+// processes hash into it by PID, and a collision merely shares a
+// performance hint between two processes — safety never depends on the
+// cache's contents.
+const affinitySlots = 256
+
+// Arena is the striped arena frontend. It implements longlived.Arena by
+// delegating to Shards independent sub-arenas that own disjoint contiguous
+// name ranges, so the union of the shards' holder sets is automatically
+// duplicate-free: no two live holders can share a name, within or across
+// shards. All methods are safe for concurrent use by distinct procs.
+type Arena struct {
+	cfg    Config
+	shards []longlived.Arena
+	base   []int // base[s] = first global name of shard s
+	stride int   // per-shard name-range width (identical across shards)
+	bound  int
+	cap    int
+	// affinity caches each process's home shard (+1; 0 = unset), indexed
+	// by PID & (affinitySlots-1). Purely a routing hint.
+	affinity [affinitySlots]atomic.Int32
+}
+
+var _ longlived.Arena = (*Arena)(nil)
+
+// New builds a sharded arena guaranteeing capacity concurrent holders
+// across all stripes.
+func New(capacity int, cfg Config) *Arena {
+	if capacity < 1 {
+		panic("sharded: capacity must be >= 1")
+	}
+	if cfg.Shards < 1 {
+		panic("sharded: Config.Shards must be >= 1")
+	}
+	if cfg.Shards > capacity {
+		panic(fmt.Sprintf("sharded: Config.Shards %d exceeds capacity %d", cfg.Shards, capacity))
+	}
+	cfg.fill()
+	a := &Arena{cfg: cfg, cap: capacity}
+	subCap := (capacity + cfg.Shards - 1) / cfg.Shards
+	for s := 0; s < cfg.Shards; s++ {
+		label := fmt.Sprintf("%s:s%d", cfg.Label, s)
+		var sub longlived.Arena
+		switch cfg.Sub {
+		case SubLevel:
+			sub = longlived.NewLevel(subCap, longlived.LevelConfig{
+				Probes:    cfg.Probes,
+				MaxPasses: 1, // one bounded pass per frontend attempt
+				Padded:    cfg.Padded,
+				Label:     label,
+			})
+		case SubTau:
+			sub = longlived.NewTau(subCap, longlived.TauConfig{
+				Probes:      cfg.Probes,
+				MaxPasses:   1,
+				SelfClocked: true,
+				Padded:      cfg.Padded,
+				Label:       label,
+			})
+		default:
+			panic(fmt.Sprintf("sharded: unknown sub-backend %d", cfg.Sub))
+		}
+		a.shards = append(a.shards, sub)
+		a.base = append(a.base, a.bound)
+		a.bound += sub.NameBound()
+	}
+	// Every shard is built from the same sub-capacity, so the per-shard
+	// name ranges share one width and locate() is a division, not a search.
+	a.stride = a.shards[0].NameBound()
+	for s, sub := range a.shards {
+		if sub.NameBound() != a.stride {
+			panic(fmt.Sprintf("sharded: shard %d bound %d != stride %d", s, sub.NameBound(), a.stride))
+		}
+	}
+	return a
+}
+
+// Label implements longlived.Arena.
+func (a *Arena) Label() string {
+	return fmt.Sprintf("sharded-%s(shards=%d,steal=%d)",
+		a.cfg.Sub, len(a.shards), a.cfg.StealProbes)
+}
+
+// Capacity implements longlived.Arena.
+func (a *Arena) Capacity() int { return a.cap }
+
+// NameBound implements longlived.Arena: Σ per-shard bounds, the
+// shards × per-shard-bound tightness envelope.
+func (a *Arena) NameBound() int { return a.bound }
+
+// Shards returns the stripe count (diagnostics).
+func (a *Arena) Shards() int { return len(a.shards) }
+
+// Shard returns sub-arena s (diagnostics and tests).
+func (a *Arena) Shard(s int) longlived.Arena { return a.shards[s] }
+
+// ShardBase returns the first global name owned by shard s (tests).
+func (a *Arena) ShardBase(s int) int { return a.base[s] }
+
+// home returns the process's cached home shard, seeded by PID modulo the
+// stripe count when the cache slot is cold.
+func (a *Arena) home(p *shm.Proc) int {
+	if v := a.affinity[p.ID()&(affinitySlots-1)].Load(); v > 0 && int(v) <= len(a.shards) {
+		return int(v - 1)
+	}
+	return p.ID() % len(a.shards)
+}
+
+// remember caches shard s as the process's home for its next acquire. The
+// store is skipped when the hint already matches, keeping the common
+// home-hit path read-only on the shared affinity line.
+func (a *Arena) remember(p *shm.Proc, s int) {
+	slot := &a.affinity[p.ID()&(affinitySlots-1)]
+	if v := int32(s) + 1; slot.Load() != v {
+		slot.Store(v)
+	}
+}
+
+// Acquire implements longlived.Arena: home shard, then bounded stealing,
+// then the deterministic full sweep.
+func (a *Arena) Acquire(p *shm.Proc) int {
+	nS := len(a.shards)
+	h := a.home(p)
+	if n := a.shards[h].Acquire(p); n >= 0 {
+		a.remember(p, h)
+		return a.base[h] + n
+	}
+	if nS > 1 {
+		r := p.Rand()
+		for t := 0; t < a.cfg.StealProbes; t++ {
+			// Pick uniformly among the other shards, excluding home.
+			v := (h + 1 + r.Intn(nS-1)) % nS
+			if n := a.shards[v].Acquire(p); n >= 0 {
+				a.remember(p, v)
+				return a.base[v] + n
+			}
+		}
+	}
+	// Full sweep from the home shard: with at most capacity-1 concurrent
+	// holders some shard sits below its sub-capacity, so its backstop has a
+	// free slot; only races against concurrent claimers can defeat a round,
+	// and MaxPasses converts that unbounded wait into an arena-full report.
+	for pass := 0; a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses; pass++ {
+		for off := 0; off < nS; off++ {
+			v := (h + off) % nS
+			if n := a.shards[v].Acquire(p); n >= 0 {
+				a.remember(p, v)
+				return a.base[v] + n
+			}
+		}
+	}
+	return -1
+}
+
+// locate returns the shard owning the global name and its local index.
+// Shards own equal-width contiguous ranges, so this is one division.
+func (a *Arena) locate(name int) (int, int) {
+	if name < 0 || name >= a.bound {
+		panic(fmt.Sprintf("sharded: name %d outside arena bound %d", name, a.bound))
+	}
+	return name / a.stride, name % a.stride
+}
+
+// Release implements longlived.Arena. It re-targets the releaser's
+// affinity at the freed shard: the freed slot is where the releaser's next
+// acquire is most likely to succeed.
+func (a *Arena) Release(p *shm.Proc, name int) {
+	s, i := a.locate(name)
+	a.shards[s].Release(p, i)
+	a.remember(p, s)
+}
+
+// Touch implements longlived.Arena.
+func (a *Arena) Touch(p *shm.Proc, name int) {
+	s, i := a.locate(name)
+	a.shards[s].Touch(p, i)
+}
+
+// IsHeld implements longlived.Arena.
+func (a *Arena) IsHeld(name int) bool {
+	s, i := a.locate(name)
+	return a.shards[s].IsHeld(i)
+}
+
+// Held implements longlived.Arena.
+func (a *Arena) Held() int {
+	h := 0
+	for _, s := range a.shards {
+		h += s.Held()
+	}
+	return h
+}
+
+// Probeables implements longlived.Arena: the union of every shard's
+// structures (labels are disjoint by the per-shard prefix).
+func (a *Arena) Probeables() map[string]shm.Probeable {
+	m := make(map[string]shm.Probeable)
+	for _, s := range a.shards {
+		for label, pr := range s.Probeables() {
+			m[label] = pr
+		}
+	}
+	return m
+}
+
+// Clock implements longlived.Arena: the composition of the shards' clock
+// hooks, or nil when no shard needs external clocking (level sub-arenas
+// and self-clocked τ sub-arenas).
+func (a *Arena) Clock() func() {
+	var hooks []func()
+	for _, s := range a.shards {
+		if h := s.Clock(); h != nil {
+			hooks = append(hooks, h)
+		}
+	}
+	if len(hooks) == 0 {
+		return nil
+	}
+	return func() {
+		for _, h := range hooks {
+			h()
+		}
+	}
+}

@@ -8,7 +8,7 @@
 // unusable constants, which is precisely the overhead the τ-register
 // algorithm avoids. This package provides the practical instantiation,
 // Batcher's odd-even mergesort (depth (log₂ w)(log₂ w + 1)/2), as the
-// realizable baseline for experiment E8 (see DESIGN.md §5).
+// realizable baseline for experiment E8 (see ALGORITHMS.md §5).
 package sortnet
 
 import (

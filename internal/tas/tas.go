@@ -13,7 +13,7 @@
 // add coin-flip retreat and splitters to improve the per-operation cost to
 // O(log* k)/O(log log k); our tournament costs Θ(log n) register
 // operations per test-and-set, so E9 reports a conservative (larger)
-// overhead factor, as documented in DESIGN.md §5 and EXPERIMENTS.md.
+// overhead factor, as documented in ALGORITHMS.md §5.
 package tas
 
 import (
