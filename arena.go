@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -36,6 +37,27 @@ const (
 	ArenaBackendSharded ArenaBackend = "sharded"
 )
 
+// ProbeMode selects the granularity at which an arena searches for free
+// slots.
+type ProbeMode string
+
+// Probe modes.
+const (
+	// ProbeAuto selects the default for the execution surface: the public
+	// arena runs natively, so it gets the word-granular engine (ProbeWord).
+	ProbeAuto ProbeMode = ""
+	// ProbeWord is the word-granular claim engine: probes snapshot a whole
+	// 64-name bitmap word and claim a free bit in one CAS, fallback scans
+	// walk words instead of names, and batch acquires claim up to 64 names
+	// per shared-memory access. The default.
+	ProbeWord ProbeMode = "word"
+	// ProbeBit is the paper's per-bit probe path: every probe is a single
+	// TAS on one name. It matches the deterministic simulator's golden
+	// fingerprints and costs one shared-memory access per examined name —
+	// choose it to reproduce the paper's cost model, not for throughput.
+	ProbeBit ProbeMode = "bit"
+)
+
 // ArenaConfig parameterizes a long-lived renaming arena.
 type ArenaConfig struct {
 	// Capacity is the number of concurrent holders the arena guarantees
@@ -59,6 +81,9 @@ type ArenaConfig struct {
 	// home shard reports full, before falling back to a full sweep. Only
 	// meaningful with ArenaBackendSharded. 0 selects the default (2).
 	StealProbes int
+	// Probe selects the slot-search granularity: ProbeWord (the default)
+	// or ProbeBit. See the ProbeMode constants.
+	Probe ProbeMode
 	// Seed drives client-side randomness (probe targets).
 	Seed uint64
 }
@@ -70,8 +95,12 @@ var (
 	// (a concurrent stream of acquires and releases can race every scan
 	// even below capacity, though that is vanishingly unlikely across the
 	// retry passes); treat it as backpressure and retry after backing off.
+	// Returned errors wrap it together with the arena's capacity (and, for
+	// batch acquires, the requested batch size).
 	ErrArenaFull = errors.New("shmrename: arena full")
 	// ErrNotHeld reports a release of a name that is not currently held.
+	// Returned errors wrap it together with the offending name, identically
+	// on every backend.
 	ErrNotHeld = errors.New("shmrename: name not held")
 )
 
@@ -93,6 +122,35 @@ type Arena struct {
 	seed   uint64
 	nextID atomic.Int64
 	procs  sync.Pool
+	// Cumulative operation statistics; see Stats.
+	acquires     atomic.Int64
+	acquireSteps atomic.Int64
+	releases     atomic.Int64
+}
+
+// ArenaStats is a snapshot of an arena's cumulative operation counters.
+// Steps are shared-memory accesses in the sense of the paper's cost model,
+// so AcquireSteps/Acquires is the machine-independent structural cost of
+// finding a free slot — the metric the BENCH_2/BENCH_3/BENCH_4 regression
+// gates track.
+type ArenaStats struct {
+	// Acquires counts successfully acquired names (batch acquires count
+	// every name of the batch).
+	Acquires int64
+	// AcquireSteps totals the shared-memory steps spent inside successful
+	// Acquire and AcquireN calls.
+	AcquireSteps int64
+	// Releases counts successfully released names.
+	Releases int64
+}
+
+// Stats returns a snapshot of the arena's cumulative operation counters.
+func (a *Arena) Stats() ArenaStats {
+	return ArenaStats{
+		Acquires:     a.acquires.Load(),
+		AcquireSteps: a.acquireSteps.Load(),
+		Releases:     a.releases.Load(),
+	}
 }
 
 // NewArena builds a long-lived renaming arena.
@@ -107,6 +165,15 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 	}
 	if cfg.Probes < 0 {
 		return nil, fmt.Errorf("shmrename: ArenaConfig.Probes must be >= 0, got %d", cfg.Probes)
+	}
+	var wordScan bool
+	switch cfg.Probe {
+	case ProbeAuto, ProbeWord:
+		wordScan = true
+	case ProbeBit:
+	default:
+		return nil, fmt.Errorf("shmrename: unknown ArenaConfig.Probe mode %q (want %q or %q)",
+			cfg.Probe, ProbeWord, ProbeBit)
 	}
 	if cfg.Backend != ArenaBackendSharded {
 		if cfg.Shards != 0 {
@@ -124,12 +191,14 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		impl = longlived.NewLevel(cfg.Capacity, longlived.LevelConfig{
 			Probes:    cfg.Probes,
 			MaxPasses: acquirePasses,
+			WordScan:  wordScan,
 			Padded:    true,
 		})
 	case ArenaTau:
 		impl = longlived.NewTau(cfg.Capacity, longlived.TauConfig{
 			Probes:      cfg.Probes,
 			MaxPasses:   acquirePasses,
+			WordScan:    wordScan,
 			SelfClocked: true,
 			Padded:      true,
 		})
@@ -152,6 +221,7 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 			StealProbes: cfg.StealProbes,
 			MaxPasses:   acquirePasses,
 			Probes:      cfg.Probes,
+			WordScan:    wordScan,
 			Padded:      true,
 		})
 	default:
@@ -183,17 +253,50 @@ func (a *Arena) Held() int { return a.impl.Held() }
 func (a *Arena) Backend() string { return a.impl.Label() }
 
 // Acquire claims a name that is unique among the arena's current holders.
-// It returns ErrArenaFull after repeatedly finding no free slot — the
-// steady-state signal of more than Capacity concurrent holders, though
-// sustained churn racing every retry pass can produce it early.
+// It returns an error wrapping ErrArenaFull (and reporting the capacity)
+// after repeatedly finding no free slot — the steady-state signal of more
+// than Capacity concurrent holders, though sustained churn racing every
+// retry pass can produce it early.
 func (a *Arena) Acquire() (int, error) {
 	p := a.proc()
+	before := p.Steps()
 	name := a.impl.Acquire(p)
+	steps := p.Steps() - before
 	a.procs.Put(p)
 	if name < 0 {
-		return 0, ErrArenaFull
+		return 0, fmt.Errorf("%w: capacity %d", ErrArenaFull, a.impl.Capacity())
 	}
+	a.acquires.Add(1)
+	a.acquireSteps.Add(steps)
 	return name, nil
+}
+
+// AcquireN claims a batch of k names, each unique among the arena's
+// current holders, amortizing per-call overhead: word-granular backends
+// serve up to 64 names per shared-memory access, and the sharded backend
+// routes the whole batch through one home/steal/sweep pass. The batch is
+// all-or-nothing — if the arena cannot serve all k names, the partial
+// batch is released again and an error wrapping ErrArenaFull reports the
+// capacity and the requested size. k must lie in [1, Capacity]; larger
+// batches could never succeed and are rejected outright.
+func (a *Arena) AcquireN(k int) ([]int, error) {
+	if k < 1 || k > a.impl.Capacity() {
+		return nil, fmt.Errorf("shmrename: AcquireN batch size %d must lie in [1, Capacity=%d]",
+			k, a.impl.Capacity())
+	}
+	p := a.proc()
+	before := p.Steps()
+	names := a.impl.AcquireN(p, k, make([]int, 0, k))
+	steps := p.Steps() - before
+	if len(names) < k {
+		a.impl.ReleaseN(p, names)
+		a.procs.Put(p)
+		return nil, fmt.Errorf("%w: capacity %d, batch of %d unserved", ErrArenaFull, a.impl.Capacity(), k)
+	}
+	a.procs.Put(p)
+	a.acquires.Add(int64(k))
+	a.acquireSteps.Add(steps)
+	return names, nil
 }
 
 // Release returns an acquired name to the pool. Only the holder may release
@@ -202,14 +305,70 @@ func (a *Arena) Acquire() (int, error) {
 // An out-of-range name is by definition not held, so it reports ErrNotHeld
 // too, with the offending name and the valid range in the error text.
 func (a *Arena) Release(name int) error {
+	if err := a.releasable(name); err != nil {
+		return err
+	}
+	p := a.proc()
+	a.impl.Release(p, name)
+	a.procs.Put(p)
+	a.releases.Add(1)
+	return nil
+}
+
+// releasable applies the release validation shared by Release and
+// ReleaseAll: out-of-range and not-held names both report ErrNotHeld,
+// wrapped with the offending name, identically on every backend.
+func (a *Arena) releasable(name int) error {
 	if name < 0 || name >= a.impl.NameBound() {
 		return fmt.Errorf("%w: name %d outside [0, %d)", ErrNotHeld, name, a.impl.NameBound())
 	}
 	if !a.impl.IsHeld(name) {
 		return fmt.Errorf("%w: name %d", ErrNotHeld, name)
 	}
-	p := a.proc()
-	a.impl.Release(p, name)
-	a.procs.Put(p)
 	return nil
+}
+
+// ReleaseAll returns a batch of acquired names to the pool, coalescing
+// names that share a bitmap word into single clearing steps (level-backed
+// arenas) and grouping by shard (sharded arenas). Invalid entries do not
+// abort the batch: every valid held name is released, and the errors for
+// the others — each wrapping ErrNotHeld with the offending name — are
+// joined into the returned error. A name repeated within the batch is
+// released once; the repeats report ErrNotHeld, exactly as sequential
+// Release calls would. The slice is not retained or modified.
+func (a *Arena) ReleaseAll(names []int) error {
+	var errs []error
+	valid := make([]int, 0, len(names))
+	// Duplicate detection scans the accepted prefix for typical batch
+	// sizes (≤64 names fit a word claim) — no extra allocation on the hot
+	// path — and switches to a map only for oversized batches.
+	var seen map[int]bool
+	if len(names) > 64 {
+		seen = make(map[int]bool, len(names))
+	}
+	for _, n := range names {
+		if err := a.releasable(n); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		dup := false
+		if seen != nil {
+			dup = seen[n]
+			seen[n] = true
+		} else {
+			dup = slices.Contains(valid, n)
+		}
+		if dup {
+			errs = append(errs, fmt.Errorf("%w: name %d repeated in batch", ErrNotHeld, n))
+			continue
+		}
+		valid = append(valid, n)
+	}
+	if len(valid) > 0 {
+		p := a.proc()
+		a.impl.ReleaseN(p, valid)
+		a.procs.Put(p)
+		a.releases.Add(int64(len(valid)))
+	}
+	return errors.Join(errs...)
 }

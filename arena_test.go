@@ -162,6 +162,7 @@ func TestNewArenaConfigErrors(t *testing.T) {
 		{Capacity: 1 << 29},
 		{Capacity: 8, Backend: "warp-array"},
 		{Capacity: 8, Probes: -1},
+		{Capacity: 8, Probe: "nibble"},
 		// Sharded-backend knob validation.
 		{Capacity: 8, Backend: ArenaBackendSharded, Shards: -1},
 		{Capacity: 8, Backend: ArenaBackendSharded, Shards: 9},

@@ -1,0 +1,235 @@
+package shmrename
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// arenaCases enumerates every public backend, used by the cross-backend
+// contract tests below.
+func arenaCases(t *testing.T, capacity int, probe ProbeMode) map[string]*Arena {
+	t.Helper()
+	out := make(map[string]*Arena)
+	for _, backend := range []ArenaBackend{ArenaLevel, ArenaTau, ArenaBackendSharded} {
+		cfg := ArenaConfig{Capacity: capacity, Backend: backend, Probe: probe, Seed: 3}
+		if backend == ArenaBackendSharded {
+			cfg.Shards = 4
+		}
+		a, err := NewArena(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		out[string(backend)] = a
+	}
+	return out
+}
+
+// TestErrorSemanticsAcrossBackends is the cross-backend error table: the
+// level, τ, and sharded backends must report identical error semantics —
+// a double Release wraps ErrNotHeld with the offending name, and a full
+// arena wraps ErrArenaFull with its capacity — under both probe modes.
+func TestErrorSemanticsAcrossBackends(t *testing.T) {
+	const capacity = 16
+	for _, probe := range []ProbeMode{ProbeBit, ProbeWord} {
+		for backend, a := range arenaCases(t, capacity, probe) {
+			t.Run(fmt.Sprintf("%s/%s", backend, probe), func(t *testing.T) {
+				// Double release: ErrNotHeld, wrapped with the name.
+				n, err := a.Acquire()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := a.Release(n); err != nil {
+					t.Fatal(err)
+				}
+				err = a.Release(n)
+				if !errors.Is(err, ErrNotHeld) {
+					t.Fatalf("double Release = %v, want ErrNotHeld", err)
+				}
+				if want := fmt.Sprintf("name %d", n); !strings.Contains(err.Error(), want) {
+					t.Fatalf("double Release error %q missing %q", err, want)
+				}
+				// The batch path reports the same, name by name.
+				err = a.ReleaseAll([]int{n})
+				if !errors.Is(err, ErrNotHeld) || !strings.Contains(err.Error(), fmt.Sprintf("name %d", n)) {
+					t.Fatalf("batch double release = %v, want wrapped ErrNotHeld with name", err)
+				}
+				// Full arena: ErrArenaFull, reporting the capacity.
+				var held []int
+				for {
+					n, err := a.Acquire()
+					if err != nil {
+						if !errors.Is(err, ErrArenaFull) {
+							t.Fatalf("acquire on filling arena: %v", err)
+						}
+						if want := fmt.Sprintf("capacity %d", capacity); !strings.Contains(err.Error(), want) {
+							t.Fatalf("ErrArenaFull error %q missing %q", err, want)
+						}
+						break
+					}
+					held = append(held, n)
+				}
+				// A full-arena batch reports capacity and batch size.
+				_, err = a.AcquireN(2)
+				if !errors.Is(err, ErrArenaFull) {
+					t.Fatalf("AcquireN on full arena = %v, want ErrArenaFull", err)
+				}
+				for _, frag := range []string{fmt.Sprintf("capacity %d", capacity), "batch of 2"} {
+					if !strings.Contains(err.Error(), frag) {
+						t.Fatalf("batch full error %q missing %q", err, frag)
+					}
+				}
+				if err := a.ReleaseAll(held); err != nil {
+					t.Fatal(err)
+				}
+				if a.Held() != 0 {
+					t.Fatalf("held %d after drain", a.Held())
+				}
+			})
+		}
+	}
+}
+
+// TestAcquireNReleaseAll checks the public batch contract end to end on
+// every backend: all-or-nothing batches of distinct in-bound names, a
+// validated size range, rollback on an unservable batch, and statistics
+// that account every name of a batch.
+func TestAcquireNReleaseAll(t *testing.T) {
+	const capacity = 64
+	for backend, a := range arenaCases(t, capacity, ProbeAuto) {
+		t.Run(backend, func(t *testing.T) {
+			for _, bad := range []int{0, -1, capacity + 1} {
+				if _, err := a.AcquireN(bad); err == nil {
+					t.Fatalf("AcquireN(%d) accepted", bad)
+				}
+			}
+			seen := make(map[int]bool)
+			var all []int
+			for i := 0; i < capacity/8; i++ {
+				names, err := a.AcquireN(8)
+				if err != nil {
+					t.Fatalf("batch %d: %v", i, err)
+				}
+				if len(names) != 8 {
+					t.Fatalf("batch %d: got %d names", i, len(names))
+				}
+				for _, n := range names {
+					if n < 0 || n >= a.NameBound() {
+						t.Fatalf("name %d outside [0,%d)", n, a.NameBound())
+					}
+					if seen[n] {
+						t.Fatalf("name %d issued twice", n)
+					}
+					seen[n] = true
+				}
+				all = append(all, names...)
+			}
+			if a.Held() != capacity {
+				t.Fatalf("held %d, want %d", a.Held(), capacity)
+			}
+			st := a.Stats()
+			if st.Acquires != capacity {
+				t.Fatalf("stats acquires %d, want %d", st.Acquires, capacity)
+			}
+			// Word-granular batches serve up to 64 names per step, so the
+			// floor is one step per batch call, not one per name.
+			if st.AcquireSteps < capacity/8 {
+				t.Fatalf("stats steps %d below one per batch", st.AcquireSteps)
+			}
+			// The arena is exactly full: a capacity-sized batch cannot be
+			// served, and the rollback must leave occupancy untouched.
+			if _, err := a.AcquireN(capacity); !errors.Is(err, ErrArenaFull) {
+				t.Fatalf("over-batch = %v, want ErrArenaFull", err)
+			}
+			if a.Held() != capacity {
+				t.Fatalf("held %d after rolled-back batch, want %d", a.Held(), capacity)
+			}
+			// Drain with an oversized batch (>64 entries exercises the
+			// map-based duplicate detection) carrying one repeat: every
+			// held name is released, the repeat reports ErrNotHeld.
+			err := a.ReleaseAll(append(append([]int{}, all...), all[0]))
+			if !errors.Is(err, ErrNotHeld) || !strings.Contains(err.Error(), fmt.Sprintf("name %d", all[0])) {
+				t.Fatalf("oversized duplicate batch = %v, want wrapped ErrNotHeld with name", err)
+			}
+			if a.Held() != 0 {
+				t.Fatalf("held %d after ReleaseAll", a.Held())
+			}
+			if st := a.Stats(); st.Releases != capacity {
+				t.Fatalf("stats releases %d, want %d", st.Releases, capacity)
+			}
+			// A name repeated within one batch is released once and the
+			// repeat reports ErrNotHeld, matching sequential Releases.
+			dup, err := a.AcquireN(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = a.ReleaseAll([]int{dup[0], dup[1], dup[0]})
+			if !errors.Is(err, ErrNotHeld) || !strings.Contains(err.Error(), fmt.Sprintf("name %d", dup[0])) {
+				t.Fatalf("duplicate batch release = %v, want wrapped ErrNotHeld with name", err)
+			}
+			if a.Held() != 0 {
+				t.Fatalf("held %d after duplicate batch release", a.Held())
+			}
+			if st := a.Stats(); st.Releases != st.Acquires {
+				t.Fatalf("stats releases %d diverged from acquires %d", st.Releases, st.Acquires)
+			}
+			// Mixed batch: invalid entries error without blocking the rest.
+			names, err := a.AcquireN(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mixed := append([]int{-1, a.NameBound()}, names...)
+			err = a.ReleaseAll(mixed)
+			if !errors.Is(err, ErrNotHeld) {
+				t.Fatalf("mixed ReleaseAll = %v, want wrapped ErrNotHeld", err)
+			}
+			if a.Held() != 0 {
+				t.Fatalf("held %d: valid names of a mixed batch not released", a.Held())
+			}
+		})
+	}
+}
+
+// TestAcquireNConcurrent churns whole batches from many goroutines on the
+// word path: batches never overlap between live holders and the arena
+// drains to zero.
+func TestAcquireNConcurrent(t *testing.T) {
+	const workers, batch, cycles = 16, 4, 50
+	for backend, a := range arenaCases(t, workers*batch, ProbeWord) {
+		t.Run(backend, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for c := 0; c < cycles; c++ {
+						names, err := a.AcquireN(batch)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if err := a.ReleaseAll(names); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if a.Held() != 0 {
+				t.Fatalf("held %d after concurrent batch churn", a.Held())
+			}
+			st := a.Stats()
+			if want := int64(workers * batch * cycles); st.Acquires != want || st.Releases != want {
+				t.Fatalf("stats %d/%d, want %d acquires and releases", st.Acquires, st.Releases, want)
+			}
+		})
+	}
+}

@@ -495,6 +495,67 @@ func BenchmarkShardedNative(b *testing.B) {
 	}
 }
 
+// BenchmarkWordEngineNative contrasts the per-bit probe path with the
+// word-granular claim engine on the level arena under tight provisioning
+// (capacity = workers, full occupancy): the regime where the probe path
+// pays random-probe misses plus a per-name backstop scan and the word path
+// pays one snapshot-scan-CAS per word. steps/acquire carries the
+// machine-independent reduction that BENCH_4.json records.
+func BenchmarkWordEngineNative(b *testing.B) {
+	const workers = 64
+	churn := longlived.ChurnConfig{Cycles: 50, Yield: true}
+	for _, wordScan := range []bool{false, true} {
+		name := "scan=bit"
+		if wordScan {
+			name = "scan=word"
+		}
+		b.Run(name, func(b *testing.B) {
+			var steps float64
+			for i := 0; i < b.N; i++ {
+				arena := longlived.NewLevel(workers, longlived.LevelConfig{
+					WordScan: wordScan, Padded: true, Label: "bench-we-" + name,
+				})
+				mon := longlived.NewMonitor(arena.NameBound())
+				sched.RunNative(workers, uint64(i), longlived.ChurnBody(arena, mon, churn))
+				if err := mon.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if held := arena.Held(); held != 0 {
+					b.Fatalf("%d names held after drain", held)
+				}
+				steps += mon.StepsPerAcquire()
+			}
+			b.ReportMetric(steps/float64(b.N), "steps/acquire")
+		})
+	}
+}
+
+// BenchmarkBatchAcquireRelease measures the public batch API: one
+// iteration is one AcquireN/ReleaseAll cycle of the given batch size, so
+// ns/op divided by the batch size is the amortized per-name cost the
+// batch API exists to lower.
+func BenchmarkBatchAcquireRelease(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			arena, err := NewArena(ArenaConfig{Capacity: 256, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				names, err := arena.AcquireN(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := arena.ReleaseAll(names); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := arena.Stats()
+			b.ReportMetric(float64(st.AcquireSteps)/float64(st.Acquires), "steps/acquire")
+		})
+	}
+}
+
 // BenchmarkCountingDeviceParallel measures raw acquisition throughput on
 // real cores via the public wrapper.
 func BenchmarkCountingDeviceParallel(b *testing.B) {

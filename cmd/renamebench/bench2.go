@@ -10,6 +10,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -42,8 +43,71 @@ type bench2File struct {
 	Results     []bench2Point `json:"results"`
 }
 
-// runBench2 measures the churn workload and writes the JSON file.
-func runBench2(path string, seed uint64, maxExp int) error {
+// bench2StepsTolerance is the allowed relative growth of steps/acquire
+// against a baseline trajectory before -bench2-against reports a
+// regression. Steps are deterministic per seed, but the per-point mean is
+// taken over however many iterations testing.Benchmark chooses, so the
+// slack absorbs the seed-set difference; the regression class this gate
+// exists for — an extra probe round, a broken fallback, a word path
+// accidentally wired into the canonical probe workload — moves the metric
+// tens of percent.
+const bench2StepsTolerance = 0.10
+
+// compareBench2 checks a fresh churn trajectory against a baseline
+// BENCH_2.json: steps/acquire may not grow beyond the tolerance at any
+// (backend, n) point present in both. Wall clock is advisory only.
+func compareBench2(cur bench2File, againstPath string) error {
+	data, err := os.ReadFile(againstPath)
+	if err != nil {
+		return fmt.Errorf("bench2: reading baseline: %w", err)
+	}
+	var base bench2File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench2: parsing baseline %s: %w", againstPath, err)
+	}
+	type key struct {
+		backend string
+		n       int
+	}
+	baseline := make(map[key]bench2Point, len(base.Results))
+	for _, p := range base.Results {
+		baseline[key{p.Backend, p.N}] = p
+	}
+	var regressions []string
+	compared := 0
+	for _, p := range cur.Results {
+		b, ok := baseline[key{p.Backend, p.N}]
+		if !ok {
+			continue
+		}
+		compared++
+		if p.StepsPerAcquire > b.StepsPerAcquire*(1+bench2StepsTolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s n=%d: steps/acquire %.2f exceeds baseline %.2f by more than %.0f%%",
+				p.Backend, p.N, p.StepsPerAcquire, b.StepsPerAcquire, bench2StepsTolerance*100))
+		}
+		fmt.Fprintf(os.Stderr, "bench2: %s n=%d vs baseline: steps %.2f/%.2f, wall %.1f/%.1fms (advisory)\n",
+			p.Backend, p.N, p.StepsPerAcquire, b.StepsPerAcquire, p.NsPerOp/1e6, b.NsPerOp/1e6)
+	}
+	if compared == 0 {
+		return fmt.Errorf("bench2: no overlapping (backend, n) points between measurement and baseline %s", againstPath)
+	}
+	if len(regressions) > 0 {
+		msg := "bench2: steps/acquire regressed vs " + againstPath
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		return errors.New(msg)
+	}
+	fmt.Fprintf(os.Stderr, "bench2: %d points within %.0f%% of baseline %s\n",
+		compared, bench2StepsTolerance*100, againstPath)
+	return nil
+}
+
+// runBench2 measures the churn workload, writes the JSON file, and — when
+// against is non-empty — fails on steps/acquire regressions versus that
+// baseline trajectory.
+func runBench2(path string, seed uint64, maxExp int, against string) error {
 	if maxExp < 8 || maxExp > 20 || maxExp%2 != 0 {
 		return fmt.Errorf("bench2: -bench2-maxexp %d must be even and within [8,20] (sweeps run n = 2^8, 2^10, .. 2^maxexp)", maxExp)
 	}
@@ -120,5 +184,11 @@ func runBench2(path string, seed uint64, maxExp int) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if against != "" {
+		return compareBench2(out, against)
+	}
+	return nil
 }

@@ -1,5 +1,5 @@
 // Command renamebench regenerates the paper-reproduction experiments
-// E1-E16 (see ALGORITHMS.md §6) and prints their report
+// E1-E17 (see ALGORITHMS.md §6) and prints their report
 // tables.
 //
 // Usage:
@@ -36,8 +36,12 @@ func main() {
 		bench1A = flag.String("bench1-against", "", "baseline BENCH_1.json to compare -bench1 results against; exits nonzero on steps/proc-max regression")
 		bench2  = flag.String("bench2", "", "write the BENCH_2.json churn trajectory to this path and exit")
 		bench2N = flag.Int("bench2-maxexp", 14, "largest log2(n) for -bench2 sweeps")
+		bench2A = flag.String("bench2-against", "", "baseline BENCH_2.json to compare -bench2 results against; exits nonzero on steps/acquire regression")
 		bench3  = flag.String("bench3", "", "write the BENCH_3.json native sharded-scalability sweep to this path and exit")
 		bench3G = flag.Int("bench3-maxg", 64, "largest goroutine count for -bench3 sweeps (x4 from 4)")
+		bench3A = flag.String("bench3-against", "", "baseline BENCH_3.json to compare -bench3 results against; exits nonzero on steps/acquire regression")
+		bench4  = flag.String("bench4", "", "write the BENCH_4.json word-engine trajectory to this path and exit")
+		bench4G = flag.Int("bench4-maxg", 64, "largest goroutine count for the -bench4 native sweep (x4 from 4)")
 	)
 	flag.Parse()
 
@@ -51,7 +55,7 @@ func main() {
 	}
 
 	if *bench2 != "" {
-		if err := runBench2(*bench2, *seed, *bench2N); err != nil {
+		if err := runBench2(*bench2, *seed, *bench2N, *bench2A); err != nil {
 			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
 			os.Exit(1)
 		}
@@ -60,11 +64,20 @@ func main() {
 	}
 
 	if *bench3 != "" {
-		if err := runBench3(*bench3, *seed, *bench3G); err != nil {
+		if err := runBench3(*bench3, *seed, *bench3G, *bench3A); err != nil {
 			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("bench3 native scalability sweep written to %s\n", *bench3)
+		return
+	}
+
+	if *bench4 != "" {
+		if err := runBench4(*bench4, *seed, *bench4G); err != nil {
+			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench4 word-engine trajectory written to %s\n", *bench4)
 		return
 	}
 

@@ -85,11 +85,35 @@
 // and safety contracts match the single-backend arena exactly, while
 // disjoint shards keep concurrent claimers on disjoint cache lines and
 // cut the per-acquire scan from O(Capacity) to O(Capacity/Shards) under
-// tight provisioning. The price is name tightness: issued names lie
-// within the shards × per-shard-bound envelope reported by
-// Arena.NameBound (ALGORITHMS.md §8 discusses the trade-off). Experiment
-// E16 and BENCH_3.json measure the native scalability; see PERF.md for
-// regeneration instructions.
+// tight provisioning. Per-shard occupancy hints steer acquires away from
+// shards recently observed full at no step cost. The price is name
+// tightness: issued names lie within the shards × per-shard-bound
+// envelope reported by Arena.NameBound (ALGORITHMS.md §8 discusses the
+// trade-off). Experiment E16 and BENCH_3.json measure the native
+// scalability; see PERF.md for regeneration instructions.
+//
+// # The word-granular claim engine and batch operations
+//
+// Every arena searches its packed TAS bitmaps in one of two probe modes
+// (ArenaConfig.Probe). ProbeBit is the paper's cost model: one
+// shared-memory access examines one name. ProbeWord — the default — is
+// the word-granular claim engine (ALGORITHMS.md §10): one access
+// snapshots a 64-name bitmap word and claims a free bit via CAS, fallback
+// scans walk words instead of names, and saturation hints steer probes
+// away from words observed full. At full occupancy this cuts the
+// structural steps/acquire cost by 3–35× (BENCH_4.json; PERF.md has the
+// matrix) while preserving all safety and termination contracts.
+//
+// Churn-heavy services amortize further with the batch API:
+//
+//	names, err := arena.AcquireN(64)  // up to 64 names per memory access
+//	// ...
+//	err = arena.ReleaseAll(names)     // word-adjacent names coalesce
+//
+// AcquireN is all-or-nothing (a partial batch is rolled back and
+// ErrArenaFull reported); ReleaseAll releases every valid held name and
+// joins the errors for the rest. Arena.Stats exposes the cumulative
+// steps-per-acquire the perf gates track.
 //
 // # Execution modes and cost model
 //

@@ -128,7 +128,7 @@ func ExampleNewArena_sharded() {
 	fmt.Println("distinct names:", len(seen))
 	fmt.Println("within envelope:", arena.NameBound() <= 4*arena.Capacity())
 	// Output:
-	// backend: sharded-level(shards=4,steal=2)
+	// backend: sharded-level(shards=4,steal=2,scan=word)
 	// distinct names: 64
 	// within envelope: true
 }

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/metrics"
+	"shmrename/internal/sched"
+)
+
+// e17Backends enumerates the (backend, scan-mode) arena constructors of the
+// word-engine comparison. The bit rows are the paper's per-TAS probe path —
+// the deterministic-mode golden contract — and the word rows are the
+// word-granular claim engine behind the config switch; BENCH_4.json records
+// the same matrix.
+func e17Backends() []struct {
+	Backend string
+	Scan    string
+	Make    func(capacity int) longlived.Arena
+} {
+	return []struct {
+		Backend string
+		Scan    string
+		Make    func(capacity int) longlived.Arena
+	}{
+		{"level-array", "bit", func(n int) longlived.Arena {
+			return longlived.NewLevel(n, longlived.LevelConfig{Label: "e17-l-bit"})
+		}},
+		{"level-array", "word", func(n int) longlived.Arena {
+			return longlived.NewLevel(n, longlived.LevelConfig{WordScan: true, Label: "e17-l-word"})
+		}},
+		{"tau-longlived", "bit", func(n int) longlived.Arena {
+			return longlived.NewTau(n, longlived.TauConfig{SelfClocked: true, Label: "e17-t-bit"})
+		}},
+		{"tau-longlived", "word", func(n int) longlived.Arena {
+			return longlived.NewTau(n, longlived.TauConfig{WordScan: true, SelfClocked: true, Label: "e17-t-word"})
+		}},
+	}
+}
+
+// e17Churn is the per-worker batch churn of every E17 cell.
+var e17Churn = longlived.ChurnConfig{Cycles: 4, HoldMin: 0, HoldMax: 8}
+
+// expE17 measures the word-granular claim engine against the per-bit probe
+// path under tight provisioning: k = n/b workers churn batches of b names
+// on a capacity-n arena, so peak demand equals capacity and every acquire
+// searches a nearly full space — the regime in which the probe path pays
+// per-bit random probes plus a per-name backstop scan while the word path
+// pays one snapshot-scan-CAS per 64-name word. steps/acquire is the
+// machine-independent structural cost per name; "vs bit" is the word row's
+// reduction factor against its probe-path twin (the BENCH_4.json headline,
+// targeted at >= 2x).
+func expE17() Experiment {
+	return Experiment{
+		ID:    "E17",
+		Title: "Word-granular claim engine: word vs bit scan x batch size",
+		Claim: "at full occupancy the word path cuts steps/acquire >= 2x vs per-bit probes, growing with batch size via up-to-64-names-per-CAS claims",
+		Run: func(cfg Config) []*metrics.Table {
+			tab := metrics.NewTable("E17 word vs bit scan under tight batch churn",
+				"backend", "scan", "n", "batch", "k", "steps/acquire", "vs bit",
+				"max name+1", "peak active", "acquires")
+			for _, n := range cfg.sweep([]int{256}, []int{1024, 4096}) {
+				for _, batch := range []int{1, 4, 16} {
+					k := n / batch
+					if k < 1 {
+						continue
+					}
+					bitSteps := make(map[string]float64)
+					for _, b := range e17Backends() {
+						var maxActive, maxName, acquires int64
+						var stepsPerAcq float64
+						for t := 0; t < cfg.trials(); t++ {
+							arena := b.Make(n)
+							mon := longlived.NewMonitor(arena.NameBound())
+							res := sched.Run(sched.Config{
+								N:         k,
+								Seed:      cfg.Seed + uint64(t),
+								Fast:      sched.FastFIFO,
+								Body:      longlived.BatchChurnBody(arena, mon, e17Churn, batch),
+								AfterStep: arena.Clock(),
+							})
+							if err := mon.Err(); err != nil {
+								panic(fmt.Sprintf("E17 %s/%s n=%d b=%d trial %d: %v", b.Backend, b.Scan, n, batch, t, err))
+							}
+							if got := sched.CountStatus(res, sched.Unnamed); got != k {
+								panic(fmt.Sprintf("E17 %s/%s n=%d b=%d trial %d: %d of %d workers drained", b.Backend, b.Scan, n, batch, t, got, k))
+							}
+							if held := arena.Held(); held != 0 {
+								panic(fmt.Sprintf("E17 %s/%s n=%d b=%d trial %d: %d names still held", b.Backend, b.Scan, n, batch, t, held))
+							}
+							if a := mon.MaxActive(); a > maxActive {
+								maxActive = a
+							}
+							if m := mon.MaxName(); m > maxName {
+								maxName = m
+							}
+							acquires += mon.Acquires()
+							stepsPerAcq += mon.StepsPerAcquire()
+						}
+						steps := stepsPerAcq / float64(cfg.trials())
+						speedup := "-"
+						switch b.Scan {
+						case "bit":
+							bitSteps[b.Backend] = steps
+						case "word":
+							speedup = fmt.Sprintf("%.1fx", bitSteps[b.Backend]/steps)
+						}
+						tab.AddRow(b.Backend, b.Scan, n, batch, k, steps, speedup,
+							maxName+1, maxActive, acquires)
+					}
+				}
+			}
+			tab.Note = "tight provisioning: k x batch = capacity, full occupancy; 'vs bit' is the word row's steps/acquire reduction"
+			return []*metrics.Table{tab}
+		},
+	}
+}

@@ -11,7 +11,7 @@ import (
 func tiny() Config { return Config{Trials: 2, Seed: 11} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -308,6 +308,56 @@ func TestE16ShardedInvariants(t *testing.T) {
 		// striped alike; see LevelArena).
 		if maxName > 4*capacity {
 			t.Fatalf("E16 max name %d blows the 4x capacity envelope: %v", maxName, row)
+		}
+	}
+}
+
+func TestE17WordEngineInvariants(t *testing.T) {
+	tabs := checkTables(t, "E17")
+	// steps/acquire of every (backend, n, batch) cell, keyed by scan mode,
+	// to re-derive the word-vs-bit comparison from the raw rows.
+	steps := make(map[string]map[string]float64)
+	for _, row := range tabs[0].Rows {
+		backend, scan := row[0], row[1]
+		k, err := strconv.Atoi(row[4])
+		if err != nil {
+			t.Fatalf("bad k cell %q: %v", row[4], err)
+		}
+		acquires, err := strconv.Atoi(row[len(row)-1])
+		if err != nil {
+			t.Fatalf("bad acquires cell %q: %v", row[len(row)-1], err)
+		}
+		batch, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("bad batch cell %q: %v", row[3], err)
+		}
+		// Every cell drained its full churn: k workers x cycles x batch
+		// names per cycle x trials.
+		if want := k * e17Churn.Cycles * batch * tiny().Trials; acquires != want {
+			t.Fatalf("E17 row acquires %d, want %d: %v", acquires, want, row)
+		}
+		cell := backend + "/" + row[2] + "/" + row[3]
+		if steps[cell] == nil {
+			steps[cell] = make(map[string]float64)
+		}
+		v, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad steps cell %q: %v", row[5], err)
+		}
+		steps[cell][scan] = v
+	}
+	for cell, modes := range steps {
+		bit, word := modes["bit"], modes["word"]
+		if bit == 0 || word == 0 {
+			t.Fatalf("cell %s missing a scan mode: %v", cell, modes)
+		}
+		// The tentpole claim at experiment scale: the word path must never
+		// be costlier, and the level backend must beat 2x.
+		if word > bit {
+			t.Fatalf("cell %s: word path %.1f steps/acquire above bit path %.1f", cell, word, bit)
+		}
+		if strings.HasPrefix(cell, "level-array/") && word*2 > bit {
+			t.Fatalf("cell %s: word path %.1f not >= 2x below bit path %.1f", cell, word, bit)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package longlived
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"shmrename/internal/shm"
@@ -19,6 +20,15 @@ type LevelConfig struct {
 	// full; 0 means unlimited (simulated runs rely on the scheduler's step
 	// budget instead).
 	MaxPasses int
+	// WordScan enables the word-granular claim engine: probes target
+	// bitmap words instead of single bits (one snapshot-scan-CAS claims the
+	// first free name of 64 in one step), the backstop scans words instead
+	// of names, saturation hints redirect probes away from words observed
+	// full, and batch acquires claim up to 64 names per step. Off by
+	// default: the per-bit probe path is the deterministic-mode contract
+	// whose golden fingerprints (and the paper's per-TAS cost model) stay
+	// bit-identical across refactors.
+	WordScan bool
 	// Padded lays level bitmaps out one word per cache line for native
 	// runs on real cores; leave false for simulated runs.
 	Padded bool
@@ -90,7 +100,11 @@ func (a *LevelArena) addLevel(mk func(string, int) *shm.NameSpace, size int) {
 
 // Label implements Arena.
 func (a *LevelArena) Label() string {
-	return fmt.Sprintf("level-array(levels=%d,probes=%d)", len(a.levels), a.cfg.Probes)
+	scan := "bit"
+	if a.cfg.WordScan {
+		scan = "word"
+	}
+	return fmt.Sprintf("level-array(levels=%d,probes=%d,scan=%s)", len(a.levels), a.cfg.Probes, scan)
 }
 
 // Capacity implements Arena.
@@ -103,8 +117,12 @@ func (a *LevelArena) NameBound() int { return a.bound }
 func (a *LevelArena) Levels() int { return len(a.levels) }
 
 // Acquire implements Arena: random probes down the ladder, then a
-// deterministic backstop scan; repeat up to MaxPasses passes.
+// deterministic backstop scan; repeat up to MaxPasses passes. With WordScan
+// the probes and the backstop run word-granular (see acquireWord).
 func (a *LevelArena) Acquire(p *shm.Proc) int {
+	if a.cfg.WordScan {
+		return a.acquireWord(p)
+	}
 	r := p.Rand()
 	backstop := len(a.levels) - 1
 	for pass := 0; a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses; pass++ {
@@ -132,6 +150,89 @@ func (a *LevelArena) Acquire(p *shm.Proc) int {
 	return -1
 }
 
+// acquireWord is the word-granular Acquire: random probes pick a bitmap
+// word per attempt — skipping words hinted saturated, at no step cost —
+// and ClaimFirstFree turns the whole word into one snapshot-scan-CAS step.
+// The backstop scans words, not names: capacity/64 steps instead of
+// 2×capacity. Hints only redirect probes; the backstop reads every word
+// itself, so a stale hint (a release racing the claim that set it) can
+// never starve the termination guarantee.
+func (a *LevelArena) acquireWord(p *shm.Proc) int {
+	r := p.Rand()
+	backstop := len(a.levels) - 1
+	for pass := 0; a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses; pass++ {
+		for li, lvl := range a.levels {
+			words := lvl.Words()
+			for t := 0; t < a.cfg.Probes; t++ {
+				w := r.Intn(words)
+				if lvl.WordSaturated(w) {
+					continue
+				}
+				if n := lvl.ClaimFirstFree(p, w); n >= 0 {
+					return a.base[li] + n
+				}
+			}
+		}
+		lvl := a.levels[backstop]
+		for w := 0; w < lvl.Words(); w++ {
+			if n := lvl.ClaimFirstFree(p, w); n >= 0 {
+				return a.base[backstop] + n
+			}
+		}
+	}
+	return -1
+}
+
+// AcquireN implements Arena. With WordScan the batch is served by
+// word-granular bulk claims — ClaimUpTo takes up to 64 free names from a
+// probed word in one CAS step — walking the ladder top-down so batches
+// stay concentrated in the low levels; the word backstop completes the
+// remainder. Without WordScan it degenerates to k independent Acquires
+// (the per-bit probe path has no cheaper primitive).
+func (a *LevelArena) AcquireN(p *shm.Proc, k int, out []int) []int {
+	if !a.cfg.WordScan {
+		for ; k > 0; k-- {
+			n := a.Acquire(p)
+			if n < 0 {
+				break
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	r := p.Rand()
+	backstop := len(a.levels) - 1
+	for pass := 0; k > 0 && (a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses); pass++ {
+		for li, lvl := range a.levels {
+			words := lvl.Words()
+			for t := 0; k > 0 && t < a.cfg.Probes; t++ {
+				w := r.Intn(words)
+				if lvl.WordSaturated(w) {
+					continue
+				}
+				out, k = appendMask(out, a.base[li]+w<<6, lvl.ClaimUpTo(p, w, k), k)
+			}
+		}
+		lvl := a.levels[backstop]
+		for w := 0; k > 0 && w < lvl.Words(); w++ {
+			out, k = appendMask(out, a.base[backstop]+w<<6, lvl.ClaimUpTo(p, w, k), k)
+		}
+	}
+	return out
+}
+
+// appendMask appends the names encoded by a won word mask (global name =
+// wordBase + bit position) and returns the updated slice and remainder.
+func appendMask(out []int, wordBase int, won uint64, k int) ([]int, int) {
+	for won != 0 {
+		b := bits.TrailingZeros64(won)
+		won &= won - 1
+		out = append(out, wordBase+b)
+		k--
+	}
+	return out, k
+}
+
 // locate returns the level holding the global name and its local index.
 func (a *LevelArena) locate(name int) (int, int) {
 	if name < 0 || name >= a.bound {
@@ -145,6 +246,43 @@ func (a *LevelArena) locate(name int) (int, int) {
 func (a *LevelArena) Release(p *shm.Proc, name int) {
 	li, i := a.locate(name)
 	a.levels[li].Free(p, i)
+}
+
+// ReleaseN implements Arena: names sharing a bitmap word of a level are
+// coalesced into one FreeMask step, so a batch of b word-adjacent names
+// costs ⌈b/64⌉ clearing steps instead of b. The input slice is not
+// modified; grouping needs sorted names, so an unsorted input is copied
+// (already-sorted batches — e.g. the per-shard groups the sharded
+// frontend hands down — are grouped in place, no allocation).
+func (a *LevelArena) ReleaseN(p *shm.Proc, names []int) {
+	switch len(names) {
+	case 0:
+		return
+	case 1:
+		a.Release(p, names[0])
+		return
+	}
+	sorted := names
+	if !sort.IntsAreSorted(sorted) {
+		sorted = make([]int, len(names))
+		copy(sorted, names)
+		sort.Ints(sorted)
+	}
+	for i := 0; i < len(sorted); {
+		li, loc := a.locate(sorted[i])
+		w := loc >> 6
+		mask := uint64(1) << (uint(loc) & 63)
+		j := i + 1
+		for ; j < len(sorted); j++ {
+			lj, locj := a.locate(sorted[j])
+			if lj != li || locj>>6 != w {
+				break
+			}
+			mask |= 1 << (uint(locj) & 63)
+		}
+		a.levels[li].FreeMask(p, w, mask)
+		i = j
+	}
 }
 
 // Touch implements Arena: one read of the name's TAS register.

@@ -61,9 +61,19 @@ type Arena interface {
 	// Acquire claims a name unique among current holders, or returns -1
 	// after MaxPasses full passes found no free slot (arena full).
 	Acquire(p *shm.Proc) int
+	// AcquireN claims up to k names unique among current holders, appending
+	// them to out and returning the extended slice. It stops short of k only
+	// after MaxPasses full passes left the remainder unserved (arena full);
+	// backends with word-granular storage batch the claims — up to 64 names
+	// per shared-memory step — instead of running k independent searches.
+	AcquireN(p *shm.Proc, k int, out []int) []int
 	// Release returns a name acquired earlier. Only the current holder may
 	// release it.
 	Release(p *shm.Proc, name int)
+	// ReleaseN returns a batch of names acquired earlier. Backends with
+	// word-granular storage coalesce names sharing a bitmap word into one
+	// clearing step. The slice is not retained.
+	ReleaseN(p *shm.Proc, names []int)
 	// Touch reads the register backing a held name (one step): the
 	// stand-in for work a client does against its name while holding it.
 	Touch(p *shm.Proc, name int)
@@ -112,6 +122,32 @@ func (m *Monitor) NoteAcquire(pid, name int, steps int64) {
 	a := m.active.Add(1)
 	maxUpdate(&m.maxActive, a)
 	maxUpdate(&m.maxName, int64(name))
+}
+
+// NoteAcquireBatch records that pid acquired the batch of names after steps
+// shared-memory accesses in total. Holder-uniqueness is checked per name;
+// the step cost is accounted once for the whole batch, so StepsPerAcquire
+// reflects the amortized per-name cost batch acquires are built to lower.
+func (m *Monitor) NoteAcquireBatch(pid int, names []int, steps int64) {
+	for _, name := range names {
+		if !m.owner[name].CompareAndSwap(0, int32(pid)+1) {
+			m.fail(fmt.Sprintf("name %d acquired by %d while held by %d",
+				name, pid, m.owner[name].Load()-1))
+			return
+		}
+		m.acquires.Add(1)
+		a := m.active.Add(1)
+		maxUpdate(&m.maxActive, a)
+		maxUpdate(&m.maxName, int64(name))
+	}
+	m.acqSteps.Add(steps)
+}
+
+// NoteReleaseBatch records that pid is about to release the batch.
+func (m *Monitor) NoteReleaseBatch(pid int, names []int) {
+	for _, name := range names {
+		m.NoteRelease(pid, name)
+	}
 }
 
 // NoteRelease records that pid is about to release name. It flags a
@@ -215,6 +251,42 @@ func ChurnBackends() []Backend {
 	return []Backend{
 		{"level-array", func(n int) Arena { return NewLevel(n, LevelConfig{}) }},
 		{"tau-longlived", func(n int) Arena { return NewTau(n, TauConfig{SelfClocked: true}) }},
+	}
+}
+
+// BatchChurnBody returns a churn body that cycles whole batches: AcquireN
+// of batch names, a seeded-random number of holding Touch steps, then
+// ReleaseN of the batch. It is the workload of experiment E17 and the
+// BENCH_4.json sweep: per-name step costs fall as the batch grows because
+// word-granular backends serve up to 64 names per shared-memory access. A
+// worker that cannot complete its batch (arena full) releases the partial
+// batch and stops.
+func BatchChurnBody(a Arena, mon *Monitor, cfg ChurnConfig, batch int) func(p *shm.Proc) int {
+	return func(p *shm.Proc) int {
+		r := p.Rand()
+		buf := make([]int, 0, batch)
+		for c := 0; c < cfg.Cycles; c++ {
+			before := p.Steps()
+			names := a.AcquireN(p, batch, buf[:0])
+			if len(names) < batch {
+				a.ReleaseN(p, names)
+				return -1
+			}
+			mon.NoteAcquireBatch(p.ID(), names, p.Steps()-before)
+			hold := cfg.HoldMin
+			if cfg.HoldMax > cfg.HoldMin {
+				hold += r.Intn(cfg.HoldMax - cfg.HoldMin + 1)
+			}
+			if cfg.Yield {
+				runtime.Gosched()
+			}
+			for h := 0; h < hold; h++ {
+				a.Touch(p, names[h%len(names)])
+			}
+			mon.NoteReleaseBatch(p.ID(), names)
+			a.ReleaseN(p, names)
+		}
+		return -1
 	}
 }
 

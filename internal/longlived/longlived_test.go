@@ -16,11 +16,14 @@ func nativeProc(id int) *shm.Proc {
 }
 
 // arenas returns one instance of every backend at the given capacity,
-// configured for direct native use.
+// configured for direct native use — both probe paths and their
+// word-granular counterparts, so every contract test covers all four.
 func arenas(capacity, maxPasses int) []Arena {
 	return []Arena{
 		NewLevel(capacity, LevelConfig{MaxPasses: maxPasses, Label: "t-level"}),
 		NewTau(capacity, TauConfig{MaxPasses: maxPasses, SelfClocked: true, Label: "t-tau"}),
+		NewLevel(capacity, LevelConfig{MaxPasses: maxPasses, WordScan: true, Label: "t-level-w"}),
+		NewTau(capacity, TauConfig{MaxPasses: maxPasses, WordScan: true, SelfClocked: true, Label: "t-tau-w"}),
 	}
 }
 
@@ -181,6 +184,233 @@ func TestChurnSimulatedGolden(t *testing.T) {
 				t.Errorf("%s: fingerprint %+v, want golden %+v", key, got, want)
 			}
 		}
+	}
+}
+
+// TestChurnWordScanGolden pins the deterministic churn fingerprint of the
+// word-granular fast path, exactly as TestChurnSimulatedGolden pins the
+// probe path: the word engine is behind a config switch, and each mode has
+// its own bit-identical contract.
+func TestChurnWordScanGolden(t *testing.T) {
+	type fingerprint struct {
+		acquires, maxActive, maxName, acquireSteps int64
+	}
+	golden := map[string]fingerprint{
+		"level-word/fifo":   {acquires: 144, maxActive: 38, maxName: 47, acquireSteps: 144},
+		"level-word/random": {acquires: 144, maxActive: 33, maxName: 40, acquireSteps: 144},
+		"tau-word/fifo":     {acquires: 144, maxActive: 32, maxName: 63, acquireSteps: 490},
+		"tau-word/random":   {acquires: 144, maxActive: 22, maxName: 65, acquireSteps: 495},
+	}
+	run := func(mk func() Arena, fast sched.FastMode) fingerprint {
+		a := mk()
+		mon := NewMonitor(a.NameBound())
+		sched.Run(sched.Config{
+			N:         48,
+			Seed:      42,
+			Fast:      fast,
+			Body:      ChurnBody(a, mon, ChurnConfig{Cycles: 3, HoldMin: 0, HoldMax: 4}),
+			AfterStep: a.Clock(),
+		})
+		if err := mon.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if h := a.Held(); h != 0 {
+			t.Fatalf("%d names held after drain", h)
+		}
+		return fingerprint{mon.Acquires(), mon.MaxActive(), mon.MaxName(), mon.AcquireSteps()}
+	}
+	backends := map[string]func() Arena{
+		"level-word": func() Arena { return NewLevel(64, LevelConfig{WordScan: true, Label: "t-goldenw-l"}) },
+		"tau-word":   func() Arena { return NewTau(64, TauConfig{WordScan: true, Label: "t-goldenw-t"}) },
+	}
+	modes := map[string]sched.FastMode{"fifo": sched.FastFIFO, "random": sched.FastRandom}
+	for bname, mk := range backends {
+		for mname, mode := range modes {
+			key := bname + "/" + mname
+			got := run(mk, mode)
+			want, ok := golden[key]
+			if !ok {
+				t.Fatalf("%s: no golden (got %+v)", key, got)
+			}
+			if got != want {
+				t.Errorf("%s: fingerprint %+v, want golden %+v", key, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchAcquireRelease checks the batch contract on every backend:
+// AcquireN serves distinct in-bound names up to capacity, partial batches
+// appear only when the arena is structurally full, and ReleaseN drains.
+func TestBatchAcquireRelease(t *testing.T) {
+	const capacity = 96
+	for _, a := range arenas(capacity, 4) {
+		t.Run(a.Label(), func(t *testing.T) {
+			p := nativeProc(0)
+			seen := make(map[int]bool)
+			var batches [][]int
+			total := 0
+			for total < capacity {
+				k := 7
+				if rem := capacity - total; k > rem {
+					k = rem
+				}
+				names := a.AcquireN(p, k, nil)
+				if len(names) != k {
+					t.Fatalf("batch at %d held: got %d of %d (capacity %d guaranteed)",
+						total, len(names), k, capacity)
+				}
+				for _, n := range names {
+					if n < 0 || n >= a.NameBound() {
+						t.Fatalf("name %d outside [0,%d)", n, a.NameBound())
+					}
+					if seen[n] {
+						t.Fatalf("name %d issued twice", n)
+					}
+					seen[n] = true
+				}
+				batches = append(batches, names)
+				total += k
+			}
+			if h := a.Held(); h != total {
+				t.Fatalf("held %d, want %d", h, total)
+			}
+			// Beyond structural capacity the batch comes back short, and
+			// what was granted is consistent (still unique, still in bound).
+			over := a.AcquireN(p, a.NameBound(), nil)
+			for _, n := range over {
+				if seen[n] {
+					t.Fatalf("over-batch reissued held name %d", n)
+				}
+				seen[n] = true
+			}
+			if len(over)+total > a.NameBound() {
+				t.Fatalf("issued %d names, bound %d", len(over)+total, a.NameBound())
+			}
+			a.ReleaseN(p, over)
+			for _, b := range batches {
+				a.ReleaseN(p, b)
+			}
+			if h := a.Held(); h != 0 {
+				t.Fatalf("held %d after batch drain", h)
+			}
+			// The drained arena serves a fresh batch generation.
+			if names := a.AcquireN(p, 5, nil); len(names) != 5 {
+				t.Fatalf("reacquire batch got %d of 5", len(names))
+			}
+		})
+	}
+}
+
+// TestBatchChurnSimulated runs the E17 workload shape on the simulator:
+// batch churn with demand exactly equal to capacity, the full-occupancy
+// regime. Safety (unique live names) and a full drain must hold for both
+// scan modes.
+func TestBatchChurnSimulated(t *testing.T) {
+	const workers, batch = 16, 4
+	backends := map[string]func() Arena{
+		"level-bit":  func() Arena { return NewLevel(workers*batch, LevelConfig{Label: "t-bchurn-l"}) },
+		"level-word": func() Arena { return NewLevel(workers*batch, LevelConfig{WordScan: true, Label: "t-bchurn-lw"}) },
+		"tau-bit":    func() Arena { return NewTau(workers*batch, TauConfig{Label: "t-bchurn-t"}) },
+		"tau-word":   func() Arena { return NewTau(workers*batch, TauConfig{WordScan: true, Label: "t-bchurn-tw"}) },
+	}
+	for name, mk := range backends {
+		t.Run(name, func(t *testing.T) {
+			a := mk()
+			mon := NewMonitor(a.NameBound())
+			res := sched.Run(sched.Config{
+				N:         workers,
+				Seed:      11,
+				Fast:      sched.FastFIFO,
+				Body:      BatchChurnBody(a, mon, ChurnConfig{Cycles: 3, HoldMin: 0, HoldMax: 4}, batch),
+				AfterStep: a.Clock(),
+			})
+			if err := mon.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sched.CountStatus(res, sched.Unnamed); got != workers {
+				t.Fatalf("%d of %d workers drained", got, workers)
+			}
+			if want := int64(workers) * 3 * batch; mon.Acquires() != want {
+				t.Fatalf("acquires = %d, want %d", mon.Acquires(), want)
+			}
+			if h := a.Held(); h != 0 {
+				t.Fatalf("%d names held after drain", h)
+			}
+		})
+	}
+}
+
+// TestBatchChurnRaceStorm hammers the batch API from real goroutines under
+// -race: whole batches acquired and released concurrently, never two live
+// holders of one name.
+func TestBatchChurnRaceStorm(t *testing.T) {
+	const workers, batch = 24, 4
+	cycles := 100
+	if testing.Short() {
+		cycles = 20
+	}
+	for _, mk := range []func() Arena{
+		func() Arena {
+			return NewLevel(workers*batch, LevelConfig{WordScan: true, Padded: true, Label: "t-bstorm-l"})
+		},
+		func() Arena {
+			return NewTau(workers*batch, TauConfig{WordScan: true, SelfClocked: true, Padded: true, Label: "t-bstorm-t"})
+		},
+	} {
+		a := mk()
+		t.Run(a.Label(), func(t *testing.T) {
+			mon := NewMonitor(a.NameBound())
+			res := sched.RunNative(workers, 5, BatchChurnBody(a, mon, ChurnConfig{
+				Cycles: cycles, HoldMin: 0, HoldMax: 4,
+			}, batch))
+			if err := mon.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sched.CountStatus(res, sched.Unnamed); got != workers {
+				t.Fatalf("%d of %d workers drained", got, workers)
+			}
+			if want := int64(workers) * int64(cycles) * batch; mon.Acquires() != want {
+				t.Fatalf("acquires = %d, want %d", mon.Acquires(), want)
+			}
+			if h := a.Held(); h != 0 {
+				t.Fatalf("%d names held after storm", h)
+			}
+		})
+	}
+}
+
+// TestWordScanFullOccupancyCheaper pins the point of the word engine with
+// a deterministic steps comparison: at full occupancy minus one slot, a
+// probe-path acquire pays per-bit probes plus a per-name backstop scan,
+// while the word path pays per-word snapshots — at least an order of
+// magnitude fewer shared-memory accesses at this size.
+func TestWordScanFullOccupancyCheaper(t *testing.T) {
+	const capacity = 1024
+	steps := func(wordScan bool) int64 {
+		a := NewLevel(capacity, LevelConfig{WordScan: wordScan, MaxPasses: 4,
+			Label: fmt.Sprintf("t-occ-%v", wordScan)})
+		filler := nativeProc(1)
+		for {
+			if a.Acquire(filler) < 0 {
+				break
+			}
+		}
+		// Free exactly one slot in the backstop level, then measure one
+		// acquire finding it.
+		free := a.NameBound() - 1
+		a.Release(filler, free)
+		p := nativeProc(2)
+		before := p.Steps()
+		if got := a.Acquire(p); got != free {
+			t.Fatalf("wordScan=%v: acquired %d, want the freed slot %d", wordScan, got, free)
+		}
+		return p.Steps() - before
+	}
+	probe := steps(false)
+	word := steps(true)
+	if word*10 > probe {
+		t.Fatalf("word path %d steps vs probe path %d: want >= 10x cheaper at full occupancy", word, probe)
 	}
 }
 

@@ -23,6 +23,14 @@ type TauConfig struct {
 	// MaxPasses bounds fallback sweep passes before reporting the arena
 	// full; 0 means unlimited.
 	MaxPasses int
+	// WordScan claims the name inside a won device's block with the
+	// word-granular engine: one snapshot-scan-CAS per bitmap word the block
+	// overlaps (at most ⌈τ/64⌉+1 steps) instead of up to τ per-bit TAS
+	// probes. Device-bit acquisition is untouched — the τ-register counting
+	// hardware is inherently per-bit. Off by default: the per-bit block
+	// scan is the deterministic-mode contract pinned by the golden
+	// fingerprints.
+	WordScan bool
 	// SelfClocked builds self-clocked counting devices. Required for
 	// native runs; simulated runs work either way (observably equivalent,
 	// self-clocked is cheaper — the canonical churn workload uses it).
@@ -123,8 +131,12 @@ func NewTau(capacity int, cfg TauConfig) *TauArena {
 
 // Label implements Arena.
 func (a *TauArena) Label() string {
-	return fmt.Sprintf("tau-longlived(devices=%d,w=%d,tau=%d)",
-		len(a.devices), a.cfg.Width, a.cfg.Tau)
+	scan := "bit"
+	if a.cfg.WordScan {
+		scan = "word"
+	}
+	return fmt.Sprintf("tau-longlived(devices=%d,w=%d,tau=%d,scan=%s)",
+		len(a.devices), a.cfg.Width, a.cfg.Tau, scan)
 }
 
 // Capacity implements Arena.
@@ -180,10 +192,20 @@ func (a *TauArena) Acquire(p *shm.Proc) int {
 // won — for Release to clear later. The scan retries: a releasing holder
 // may transiently keep its name while the block's bit count already
 // admitted us, but a free name is guaranteed at every instant (block
-// holders < τ), so the scan terminates.
+// holders < τ), so the scan terminates. With WordScan the block is claimed
+// through word snapshots (ClaimFirstFreeRange): at most ⌈τ/64⌉+1 steps per
+// attempt instead of τ single-bit probes.
 func (a *TauArena) claimName(p *shm.Proc, d, bit, start int) int {
 	tau := a.cfg.Tau
 	base := d * tau
+	if a.cfg.WordScan {
+		for {
+			if g := a.names.ClaimFirstFreeRange(p, base, base+tau); g >= 0 {
+				a.bitOf[g].Store(int32(bit) + 1)
+				return g
+			}
+		}
+	}
 	for {
 		for j := 0; j < tau; j++ {
 			g := base + (start+j)%tau
@@ -193,6 +215,22 @@ func (a *TauArena) claimName(p *shm.Proc, d, bit, start int) int {
 			}
 		}
 	}
+}
+
+// AcquireN implements Arena: k successive single acquires. A τ name is
+// inseparable from the device bit that admitted it — the threshold
+// contract counts bits, not names — so the batch cannot be served by one
+// word claim; the word-granular saving (WordScan) lives inside each
+// acquire's block scan instead.
+func (a *TauArena) AcquireN(p *shm.Proc, k int, out []int) []int {
+	for ; k > 0; k-- {
+		n := a.Acquire(p)
+		if n < 0 {
+			break
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // Release implements Arena.
@@ -212,6 +250,16 @@ func (a *TauArena) Release(p *shm.Proc, name int) {
 	}
 	a.names.Free(p, name)
 	a.devices[name/a.cfg.Tau].ReleaseBit(p, int(b))
+}
+
+// ReleaseN implements Arena: per-name releases. Each name must return its
+// own device bit (ReleaseBit restores that device's counting capacity), so
+// unlike the level arena there is no word-batched clearing to coalesce
+// into.
+func (a *TauArena) ReleaseN(p *shm.Proc, names []int) {
+	for _, n := range names {
+		a.Release(p, n)
+	}
 }
 
 // Touch implements Arena.

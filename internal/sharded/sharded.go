@@ -55,6 +55,7 @@ package sharded
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"shmrename/internal/longlived"
@@ -102,6 +103,12 @@ type Config struct {
 	// Probes is forwarded to each sub-arena (longlived.LevelConfig.Probes
 	// or longlived.TauConfig.Probes). 0 selects the sub-arena default.
 	Probes int
+	// WordScan forwards the word-granular claim engine to every sub-arena
+	// (longlived.LevelConfig.WordScan / TauConfig.WordScan): probes and
+	// backstops run one snapshot-scan-CAS per bitmap word, and batch
+	// acquires claim up to 64 names per step. Off by default — the per-bit
+	// probe path is the deterministic-mode golden-fingerprint contract.
+	WordScan bool
 	// Padded forwards the cache-line-padded bitmap layout to every shard,
 	// for native runs on real cores.
 	Padded bool
@@ -139,6 +146,15 @@ type Arena struct {
 	// affinity caches each process's home shard (+1; 0 = unset), indexed
 	// by PID & (affinitySlots-1). Purely a routing hint.
 	affinity [affinitySlots]atomic.Int32
+	// occupied is the per-shard occupancy hint: bit s is set when an
+	// acquire observed shard s full, cleared by releases into s and by
+	// successful acquires from s. Like the word-saturation hints of the
+	// claim engine (the same shm.HintBits type backs both) it only
+	// redirects the probe and steal phases and orders the full sweep — the
+	// sweep still consults every shard each round, so a stale hint (a
+	// release racing the failed acquire that set it) can never defeat the
+	// termination guarantee.
+	occupied *shm.HintBits
 }
 
 var _ longlived.Arena = (*Arena)(nil)
@@ -166,6 +182,7 @@ func New(capacity int, cfg Config) *Arena {
 			sub = longlived.NewLevel(subCap, longlived.LevelConfig{
 				Probes:    cfg.Probes,
 				MaxPasses: 1, // one bounded pass per frontend attempt
+				WordScan:  cfg.WordScan,
 				Padded:    cfg.Padded,
 				Label:     label,
 			})
@@ -173,6 +190,7 @@ func New(capacity int, cfg Config) *Arena {
 			sub = longlived.NewTau(subCap, longlived.TauConfig{
 				Probes:      cfg.Probes,
 				MaxPasses:   1,
+				WordScan:    cfg.WordScan,
 				SelfClocked: true,
 				Padded:      cfg.Padded,
 				Label:       label,
@@ -184,6 +202,7 @@ func New(capacity int, cfg Config) *Arena {
 		a.base = append(a.base, a.bound)
 		a.bound += sub.NameBound()
 	}
+	a.occupied = shm.NewHintBits(cfg.Shards)
 	// Every shard is built from the same sub-capacity, so the per-shard
 	// name ranges share one width and locate() is a division, not a search.
 	a.stride = a.shards[0].NameBound()
@@ -197,8 +216,12 @@ func New(capacity int, cfg Config) *Arena {
 
 // Label implements longlived.Arena.
 func (a *Arena) Label() string {
-	return fmt.Sprintf("sharded-%s(shards=%d,steal=%d)",
-		a.cfg.Sub, len(a.shards), a.cfg.StealProbes)
+	scan := "bit"
+	if a.cfg.WordScan {
+		scan = "word"
+	}
+	return fmt.Sprintf("sharded-%s(shards=%d,steal=%d,scan=%s)",
+		a.cfg.Sub, len(a.shards), a.cfg.StealProbes, scan)
 }
 
 // Capacity implements longlived.Arena.
@@ -236,23 +259,73 @@ func (a *Arena) remember(p *shm.Proc, s int) {
 	}
 }
 
+// ShardOccupied reports the full-shard hint for s without touching the
+// shard (diagnostics and tests). It may be stale; see the occupied field.
+func (a *Arena) ShardOccupied(s int) bool { return a.occupied.Get(s) }
+
+// triedShards tracks which shards a sweep round already visited, so the
+// round's second phase retries exactly the shards the hint-gated first
+// phase skipped — partitioning on what phase one actually did, not on the
+// racy hints, which a concurrent release could flip between the phases.
+// Rounds over more than 64x4 shards fall back to unconditional retries
+// (correct, merely paying a duplicate bounded pass per phase-one shard).
+type triedShards struct {
+	bits  [4]uint64
+	exact bool
+}
+
+func newTriedShards(nShards int) triedShards {
+	return triedShards{exact: nShards <= 64*4}
+}
+
+func (t *triedShards) add(s int) {
+	if t.exact {
+		t.bits[s>>6] |= 1 << (uint(s) & 63)
+	}
+}
+
+func (t *triedShards) has(s int) bool {
+	return t.exact && t.bits[s>>6]&(1<<(uint(s)&63)) != 0
+}
+
+// tryShard runs one bounded acquire pass against shard s, maintaining the
+// occupancy hint: a win clears it (the shard observably had space), a full
+// report sets it. Returns the global name or -1.
+func (a *Arena) tryShard(p *shm.Proc, s int) int {
+	if n := a.shards[s].Acquire(p); n >= 0 {
+		a.occupied.Clear(s)
+		a.remember(p, s)
+		return a.base[s] + n
+	}
+	a.occupied.Set(s)
+	return -1
+}
+
 // Acquire implements longlived.Arena: home shard, then bounded stealing,
-// then the deterministic full sweep.
+// then the deterministic full sweep. The occupancy hints gate the home and
+// steal phases (a shard observed full is skipped at zero step cost until a
+// release reopens it) and order the sweep — unhinted shards first — but
+// every sweep round still consults all shards, preserving the termination
+// guarantee against stale hints.
 func (a *Arena) Acquire(p *shm.Proc) int {
 	nS := len(a.shards)
 	h := a.home(p)
-	if n := a.shards[h].Acquire(p); n >= 0 {
-		a.remember(p, h)
-		return a.base[h] + n
+	if !a.ShardOccupied(h) {
+		if n := a.tryShard(p, h); n >= 0 {
+			return n
+		}
 	}
 	if nS > 1 {
 		r := p.Rand()
 		for t := 0; t < a.cfg.StealProbes; t++ {
-			// Pick uniformly among the other shards, excluding home.
+			// Pick uniformly among the other shards, excluding home; a
+			// hinted-full pick consumes the probe without paying steps.
 			v := (h + 1 + r.Intn(nS-1)) % nS
-			if n := a.shards[v].Acquire(p); n >= 0 {
-				a.remember(p, v)
-				return a.base[v] + n
+			if a.ShardOccupied(v) {
+				continue
+			}
+			if n := a.tryShard(p, v); n >= 0 {
+				return n
 			}
 		}
 	}
@@ -260,16 +333,103 @@ func (a *Arena) Acquire(p *shm.Proc) int {
 	// holders some shard sits below its sub-capacity, so its backstop has a
 	// free slot; only races against concurrent claimers can defeat a round,
 	// and MaxPasses converts that unbounded wait into an arena-full report.
+	// Each round visits hint-free shards first, then exactly the shards
+	// phase one skipped (triedShards): together the phases consult every
+	// shard every round, so a racy hint flip between them cannot exclude a
+	// shard and break the termination guarantee.
 	for pass := 0; a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses; pass++ {
+		tried := newTriedShards(nS)
 		for off := 0; off < nS; off++ {
 			v := (h + off) % nS
-			if n := a.shards[v].Acquire(p); n >= 0 {
-				a.remember(p, v)
-				return a.base[v] + n
+			if a.ShardOccupied(v) {
+				continue
+			}
+			tried.add(v)
+			if n := a.tryShard(p, v); n >= 0 {
+				return n
+			}
+		}
+		for off := 0; off < nS; off++ {
+			v := (h + off) % nS
+			if tried.has(v) {
+				continue
+			}
+			if n := a.tryShard(p, v); n >= 0 {
+				return n
 			}
 		}
 	}
 	return -1
+}
+
+// acquireBatch runs one bounded batch pass against shard s, appending
+// base-offset global names and maintaining the occupancy hint. It returns
+// the extended slice and the remaining count.
+func (a *Arena) acquireBatch(p *shm.Proc, s, k int, out []int) ([]int, int) {
+	pre := len(out)
+	out = a.shards[s].AcquireN(p, k, out)
+	got := len(out) - pre
+	for i := pre; i < len(out); i++ {
+		out[i] += a.base[s]
+	}
+	if got > 0 {
+		a.occupied.Clear(s)
+		a.remember(p, s)
+	}
+	if got < k {
+		a.occupied.Set(s)
+	}
+	return out, k - got
+}
+
+// AcquireN implements longlived.Arena, routing the batch through the same
+// three-tier protocol as Acquire: the home shard serves as much of the
+// batch as it can (word-granular sub-arenas claim up to 64 names per
+// step), stealing tops up the remainder from randomly probed shards, and
+// the ordered full sweep completes or bounds the request. Hints gate the
+// first two phases exactly as in Acquire.
+func (a *Arena) AcquireN(p *shm.Proc, k int, out []int) []int {
+	nS := len(a.shards)
+	h := a.home(p)
+	if !a.ShardOccupied(h) {
+		if out, k = a.acquireBatch(p, h, k, out); k == 0 {
+			return out
+		}
+	}
+	if nS > 1 {
+		r := p.Rand()
+		for t := 0; t < a.cfg.StealProbes; t++ {
+			v := (h + 1 + r.Intn(nS-1)) % nS
+			if a.ShardOccupied(v) {
+				continue
+			}
+			if out, k = a.acquireBatch(p, v, k, out); k == 0 {
+				return out
+			}
+		}
+	}
+	// Mirror Acquire's sweep: a hint-gated phase for ordering, then exactly
+	// the phase-one-skipped shards, so racy hints cannot exclude a shard
+	// from the round (see Acquire).
+	for pass := 0; k > 0 && (a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses); pass++ {
+		tried := newTriedShards(nS)
+		for off := 0; k > 0 && off < nS; off++ {
+			v := (h + off) % nS
+			if a.ShardOccupied(v) {
+				continue
+			}
+			tried.add(v)
+			out, k = a.acquireBatch(p, v, k, out)
+		}
+		for off := 0; k > 0 && off < nS; off++ {
+			v := (h + off) % nS
+			if tried.has(v) {
+				continue
+			}
+			out, k = a.acquireBatch(p, v, k, out)
+		}
+	}
+	return out
 }
 
 // locate returns the shard owning the global name and its local index.
@@ -287,7 +447,43 @@ func (a *Arena) locate(name int) (int, int) {
 func (a *Arena) Release(p *shm.Proc, name int) {
 	s, i := a.locate(name)
 	a.shards[s].Release(p, i)
+	a.occupied.Clear(s)
 	a.remember(p, s)
+}
+
+// ReleaseN implements longlived.Arena: the batch is grouped by owning
+// shard (one sort of a scratch copy) and each group is released through
+// the shard's own batch path, so word-adjacent names coalesce into single
+// clearing steps. Every touched shard drops its occupancy hint; the
+// releaser's affinity re-targets the first freed shard.
+func (a *Arena) ReleaseN(p *shm.Proc, names []int) {
+	switch len(names) {
+	case 0:
+		return
+	case 1:
+		a.Release(p, names[0])
+		return
+	}
+	sorted := make([]int, len(names))
+	copy(sorted, names)
+	sort.Ints(sorted)
+	first := -1
+	for i := 0; i < len(sorted); {
+		s, _ := a.locate(sorted[i])
+		j := i
+		for ; j < len(sorted) && sorted[j]/a.stride == s; j++ {
+			sorted[j] -= a.base[s]
+		}
+		a.shards[s].ReleaseN(p, sorted[i:j])
+		a.occupied.Clear(s)
+		if first < 0 {
+			first = s
+		}
+		i = j
+	}
+	if first >= 0 {
+		a.remember(p, first)
+	}
 }
 
 // Touch implements longlived.Arena.

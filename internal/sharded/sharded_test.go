@@ -207,6 +207,112 @@ func TestAffinityMigration(t *testing.T) {
 	}
 }
 
+// TestShardedBatchAcquireRelease checks the batch contract through the
+// striped frontend, on both sub-backends and both scan modes: batches are
+// served across shards with globally distinct names, and ReleaseN drains
+// every touched shard.
+func TestShardedBatchAcquireRelease(t *testing.T) {
+	const capacity = 96
+	mks := []*Arena{
+		New(capacity, Config{Shards: 3, MaxPasses: 4, Sub: SubLevel, Label: "ts-batch-l"}),
+		New(capacity, Config{Shards: 3, MaxPasses: 4, Sub: SubTau, Label: "ts-batch-t"}),
+		New(capacity, Config{Shards: 3, MaxPasses: 4, WordScan: true, Sub: SubLevel, Label: "ts-batch-lw"}),
+		New(capacity, Config{Shards: 3, MaxPasses: 4, WordScan: true, Sub: SubTau, Label: "ts-batch-tw"}),
+	}
+	for i, a := range mks {
+		scan := []string{"bit", "bit", "word", "word"}[i]
+		t.Run(a.Label()+"/"+scan, func(t *testing.T) {
+			p := nativeProc(0)
+			seen := make(map[int]bool)
+			// One oversized batch forces the route through home, steal,
+			// and sweep: a single shard holds only capacity/3 names.
+			names := a.AcquireN(p, capacity, nil)
+			if len(names) != capacity {
+				t.Fatalf("batch got %d of %d (capacity guaranteed)", len(names), capacity)
+			}
+			for _, n := range names {
+				if n < 0 || n >= a.NameBound() {
+					t.Fatalf("name %d outside [0,%d)", n, a.NameBound())
+				}
+				if seen[n] {
+					t.Fatalf("name %d issued twice", n)
+				}
+				seen[n] = true
+			}
+			if h := a.Held(); h != capacity {
+				t.Fatalf("held %d, want %d", h, capacity)
+			}
+			a.ReleaseN(p, names)
+			if h := a.Held(); h != 0 {
+				t.Fatalf("held %d after batch drain", h)
+			}
+			if got := a.AcquireN(p, 8, nil); len(got) != 8 {
+				t.Fatalf("reacquire batch got %d of 8", len(got))
+			}
+		})
+	}
+}
+
+// TestOccupancyHints checks the full-shard hint life cycle: a failed
+// acquire against a full shard sets the hint, a release into the shard
+// clears it, and hinted shards are skipped by the steal phase without
+// spending steps while the sweep still serves from them.
+func TestOccupancyHints(t *testing.T) {
+	a := New(64, Config{Shards: 4, MaxPasses: 2, Sub: SubLevel, Label: "ts-hint"})
+	p := nativeProc(1) // home shard 1
+	// Fill home shard 1 structurally via the sub-arena.
+	sub := a.Shard(1)
+	filler := nativeProc(1)
+	var held []int
+	for {
+		n := sub.Acquire(filler)
+		if n < 0 {
+			break
+		}
+		held = append(held, n)
+	}
+	if a.ShardOccupied(1) {
+		t.Fatal("hint set before any frontend acquire observed the shard")
+	}
+	// The next frontend acquire fails on home, marks it, and steals.
+	n := a.Acquire(p)
+	if n < 0 {
+		t.Fatal("steal acquire failed")
+	}
+	if !a.ShardOccupied(1) {
+		t.Fatal("full home shard not hinted after failed acquire")
+	}
+	if s, _ := a.locate(n); s == 1 {
+		t.Fatal("acquire landed on the full home shard")
+	}
+	// A release into the hinted shard reopens it.
+	a.Release(p, a.ShardBase(1)+held[0])
+	if a.ShardOccupied(1) {
+		t.Fatal("hint not cleared by release into the shard")
+	}
+	// Hints are performance routing only — even stale-full hints on every
+	// shard must not defeat the sweep. Fill the arena structurally, free
+	// exactly one slot, then force every hint full: the next acquire must
+	// still find the freed slot.
+	var all []int
+	for {
+		n := a.Acquire(filler)
+		if n < 0 {
+			break
+		}
+		all = append(all, n)
+	}
+	freed := all[len(all)/2]
+	a.Release(filler, freed)
+	for s := 0; s < a.Shards(); s++ {
+		a.occupied.Set(s)
+	}
+	got := a.Acquire(nativeProc(2))
+	if got != freed {
+		t.Fatalf("sweep under stale hints acquired %d, want the freed slot %d", got, freed)
+	}
+}
+
 // TestShardedGoldenDeterminism pins the deterministic simulated-adversary
 // churn fingerprint of the sharded frontend: for a fixed (seed, schedule)
 // the monitor aggregates must be bit-identical across refactors, exactly
@@ -245,6 +351,61 @@ func TestShardedGoldenDeterminism(t *testing.T) {
 		},
 		"tau": func() *Arena {
 			return New(64, Config{Shards: 4, Sub: SubTau, Label: "ts-golden-t"})
+		},
+	}
+	modes := map[string]sched.FastMode{"fifo": sched.FastFIFO, "random": sched.FastRandom}
+	for bname, mk := range backends {
+		for mname, mode := range modes {
+			key := bname + "/" + mname
+			got := run(mk, mode)
+			want, ok := golden[key]
+			if !ok {
+				t.Fatalf("%s: no golden (got %+v)", key, got)
+			}
+			if got != want {
+				t.Errorf("%s: fingerprint %+v, want golden %+v", key, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedWordScanGolden pins the word-granular churn fingerprint of
+// the striped frontend, mirroring the single-backend word goldens: each
+// scan mode is its own deterministic contract.
+func TestShardedWordScanGolden(t *testing.T) {
+	type fingerprint struct {
+		acquires, maxActive, maxName, acquireSteps int64
+	}
+	golden := map[string]fingerprint{
+		"level-word/fifo":   {acquires: 144, maxActive: 38, maxName: 59, acquireSteps: 144},
+		"level-word/random": {acquires: 144, maxActive: 33, maxName: 57, acquireSteps: 144},
+		"tau-word/fifo":     {acquires: 144, maxActive: 32, maxName: 62, acquireSteps: 482},
+		"tau-word/random":   {acquires: 144, maxActive: 19, maxName: 62, acquireSteps: 482},
+	}
+	run := func(mk func() *Arena, fast sched.FastMode) fingerprint {
+		a := mk()
+		mon := longlived.NewMonitor(a.NameBound())
+		sched.Run(sched.Config{
+			N:         48,
+			Seed:      42,
+			Fast:      fast,
+			Body:      longlived.ChurnBody(a, mon, longlived.ChurnConfig{Cycles: 3, HoldMin: 0, HoldMax: 4}),
+			AfterStep: a.Clock(),
+		})
+		if err := mon.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if h := a.Held(); h != 0 {
+			t.Fatalf("%d names held after drain", h)
+		}
+		return fingerprint{mon.Acquires(), mon.MaxActive(), mon.MaxName(), mon.AcquireSteps()}
+	}
+	backends := map[string]func() *Arena{
+		"level-word": func() *Arena {
+			return New(64, Config{Shards: 4, WordScan: true, Sub: SubLevel, Label: "ts-goldenw-l"})
+		},
+		"tau-word": func() *Arena {
+			return New(64, Config{Shards: 4, WordScan: true, Sub: SubTau, Label: "ts-goldenw-t"})
 		},
 	}
 	modes := map[string]sched.FastMode{"fifo": sched.FastFIFO, "random": sched.FastRandom}
@@ -315,6 +476,12 @@ func TestShardedRaceStorm(t *testing.T) {
 		},
 		func() *Arena {
 			return New(workers, Config{Shards: 4, Padded: true, Sub: SubTau, Label: "ts-storm-t"})
+		},
+		func() *Arena {
+			return New(workers, Config{Shards: 4, WordScan: true, Padded: true, Sub: SubLevel, Label: "ts-storm-lw"})
+		},
+		func() *Arena {
+			return New(workers, Config{Shards: 4, WordScan: true, Padded: true, Sub: SubTau, Label: "ts-storm-tw"})
 		},
 	} {
 		a := mk()

@@ -1,0 +1,196 @@
+package shm
+
+// Word-granular claim engine.
+//
+// The paper's cost model charges one shared-memory operation per probed TAS
+// register, and the packed bitmap of NameSpace pays exactly that: TryClaim
+// examines one bit per step even though the containing atomic.Uint64 word it
+// CASes already holds 64 names. The word ops below charge the same single
+// step for the same single atomic read-modify-write on the containing word —
+// but harvest the whole 64-bit snapshot: read the word once, pick free bits
+// with bit tricks (TrailingZeros64 / OnesCount64), and claim one bit, up to
+// 64 bits, or an arbitrary mask in one CAS. In the model's terms this is the
+// fetch-and-or / LL-SC strengthening of the per-bit TAS object: still one
+// access to one shared register per step, with word-granular return value.
+//
+// Saturation hints: every NameSpace additionally maintains a summary bitmap
+// (one bit per bitmap word, set when a claim op observed the word full,
+// cleared by every release touching the word). Reading the summary costs no
+// process step — like the adversary's Probe it is a performance hint, never
+// a correctness input: hints can go stale when a release races a claim, so
+// callers may use them to redirect random probes but deterministic fallback
+// scans must consult the words themselves.
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HintBits is a lock-free advisory bitmap: one bit per tracked object,
+// set when the object was observed saturated and cleared when it reopens.
+// Reads and writes are racy by design — a Set racing a Clear can leave a
+// stale bit either way — so a HintBits value may redirect probes or order
+// scans, but must never gate a correctness-critical fallback. The name
+// space's per-word saturation summary and the sharded frontend's
+// per-shard occupancy hints are both instances.
+type HintBits struct {
+	words []atomic.Uint64
+}
+
+// NewHintBits returns an all-clear hint bitmap over n objects.
+func NewHintBits(n int) *HintBits {
+	return &HintBits{words: make([]atomic.Uint64, (n+63)/64)}
+}
+
+// Set records that object i was observed saturated.
+func (h *HintBits) Set(i int) {
+	h.words[i>>6].Or(1 << (uint(i) & 63))
+}
+
+// Clear drops the hint for object i. The load keeps the common path
+// read-only on the hint line when the bit is already clear.
+func (h *HintBits) Clear(i int) {
+	w := &h.words[i>>6]
+	if mask := uint64(1) << (uint(i) & 63); w.Load()&mask != 0 {
+		w.And(^mask)
+	}
+}
+
+// Get reports the hint for object i. A true result may be stale.
+func (h *HintBits) Get(i int) bool {
+	return h.words[i>>6].Load()&(1<<(uint(i)&63)) != 0
+}
+
+// Reset clears every hint. Only safe when no processes are running.
+func (h *HintBits) Reset() {
+	for i := range h.words {
+		h.words[i].Store(0)
+	}
+}
+
+// Words returns the number of bitmap words; word w covers the names
+// [64w, min(64w+64, Size())).
+func (s *NameSpace) Words() int { return (s.size + 63) / 64 }
+
+// wordPtr returns the storage word and the valid-bit mask of bitmap word w
+// (the final word of a non-multiple-of-64 space is partial).
+func (s *NameSpace) wordPtr(w int) (*atomic.Uint64, uint64) {
+	if uint(w) >= uint(s.Words()) {
+		panic(fmt.Sprintf("shm: word %d outside space %q of %d words", w, s.label, s.Words()))
+	}
+	valid := ^uint64(0)
+	if rem := s.size - w<<6; rem < 64 {
+		valid = 1<<uint(rem) - 1
+	}
+	return &s.words[w*s.stride], valid
+}
+
+// WordSaturated reports the full-word hint for w without spending a process
+// step. A true result may be stale (a release can race the claim that set
+// it), so it must only redirect probes, never gate a fallback scan.
+func (s *NameSpace) WordSaturated(w int) bool { return s.sat.Get(w) }
+
+// lowestBits returns the k lowest set bits of m (all of m if it has fewer).
+func lowestBits(m uint64, k int) uint64 {
+	if k >= bits.OnesCount64(m) {
+		return m
+	}
+	out := uint64(0)
+	for ; k > 0; k-- {
+		b := m & -m
+		out |= b
+		m ^= b
+	}
+	return out
+}
+
+// claimLowest is the shared CAS loop of the word claim ops: one process
+// step, then claim the up-to-k lowest free bits of word w that lie in mask.
+// It returns the claimed bits (0 when no masked bit was free) and marks the
+// saturation hint when the whole word was observed full.
+func (s *NameSpace) claimLowest(p *Proc, w int, mask uint64, k int) uint64 {
+	ptr, valid := s.wordPtr(w)
+	mask &= valid
+	p.Step(Op{Kind: OpTAS, Space: s.id, Index: int32(w << 6)})
+	for {
+		cur := ptr.Load()
+		free := ^cur & mask
+		if free == 0 {
+			if ^cur&valid == 0 {
+				s.sat.Set(w)
+			}
+			return 0
+		}
+		pick := lowestBits(free, k)
+		if ptr.CompareAndSwap(cur, cur|pick) {
+			return pick
+		}
+	}
+}
+
+// ClaimFirstFree claims the lowest free name of bitmap word w in one CAS:
+// snapshot the word, pick the first clear bit with TrailingZeros64, set it.
+// Exactly one step — one atomic read-modify-write on the containing word,
+// the same access a single-bit TryClaim performs — regardless of how many
+// of the word's 64 names it had to look past. It returns the claimed name,
+// or -1 if the word was full (which also sets the saturation hint).
+func (s *NameSpace) ClaimFirstFree(p *Proc, w int) int {
+	won := s.claimLowest(p, w, ^uint64(0), 1)
+	if won == 0 {
+		return -1
+	}
+	return w<<6 + bits.TrailingZeros64(won)
+}
+
+// ClaimUpTo claims the min(k, free) lowest free names of bitmap word w in
+// one CAS and returns them as a bit mask over the word (0 when the word was
+// full). One step, like ClaimFirstFree: this is the batch-claim primitive —
+// up to 64 names per shared-memory access.
+func (s *NameSpace) ClaimUpTo(p *Proc, w int, k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	return s.claimLowest(p, w, ^uint64(0), k)
+}
+
+// ClaimMask claims the free subset of mask within bitmap word w in one CAS
+// and returns exactly the bits it won. Bits of the word outside mask are
+// never modified, no matter how the word changes concurrently. One step.
+func (s *NameSpace) ClaimMask(p *Proc, w int, mask uint64) uint64 {
+	return s.claimLowest(p, w, mask, 64)
+}
+
+// FreeMask clears every mask bit of bitmap word w — the batch release: up
+// to 64 names returned to the pool in one atomic AND. One step (an OpClear,
+// like Free). Clearing bits that are already free is a no-op, matching
+// Free's semantics. The word's saturation hint is dropped.
+func (s *NameSpace) FreeMask(p *Proc, w int, mask uint64) {
+	ptr, valid := s.wordPtr(w)
+	p.Step(Op{Kind: OpClear, Space: s.id, Index: int32(w << 6)})
+	ptr.And(^(mask & valid))
+	s.sat.Clear(w)
+}
+
+// ClaimFirstFreeRange claims the lowest free name in [lo, hi) using word
+// snapshots: one step per word examined instead of one per name, so a range
+// of r names costs at most ⌈r/64⌉+1 steps. It returns the claimed name or
+// -1 if every word in the range was observed full.
+func (s *NameSpace) ClaimFirstFreeRange(p *Proc, lo, hi int) int {
+	if lo < 0 || hi > s.size || lo > hi {
+		panic(fmt.Sprintf("shm: range [%d,%d) outside space %q of %d", lo, hi, s.label, s.size))
+	}
+	for w := lo >> 6; w<<6 < hi; w++ {
+		mask := ^uint64(0)
+		if base := w << 6; base < lo {
+			mask &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if end := w<<6 + 64; end > hi {
+			mask &= 1<<(uint(hi-w<<6)) - 1
+		}
+		if won := s.claimLowest(p, w, mask, 1); won != 0 {
+			return w<<6 + bits.TrailingZeros64(won)
+		}
+	}
+	return -1
+}

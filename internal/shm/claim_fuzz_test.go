@@ -1,0 +1,73 @@
+package shm
+
+import (
+	"math/bits"
+	"testing"
+
+	"shmrename/internal/prng"
+)
+
+// FuzzClaimFreeMask fuzzes the word-mask claim/free arithmetic against a
+// model: starting from an arbitrary pre-population, ClaimMask must win
+// exactly the free subset of its mask, never touch foreign bits, and a
+// claim→free round trip must restore the pre-claim popcount bit for bit.
+func FuzzClaimFreeMask(f *testing.F) {
+	f.Add(uint64(0), uint64(0xff), uint8(64), uint8(3))
+	f.Add(^uint64(0), ^uint64(0), uint8(1), uint8(0))
+	f.Add(uint64(0xdeadbeef), uint64(0xffff0000_0000ffff), uint8(70), uint8(7))
+	f.Fuzz(func(t *testing.T, pre, mask uint64, sizeSeed, kSeed uint8) {
+		size := int(sizeSeed)
+		if size < 1 {
+			size = 1
+		}
+		if size > 64 {
+			size = 64
+		}
+		valid := ^uint64(0)
+		if size < 64 {
+			valid = 1<<uint(size) - 1
+		}
+		s := NewNameSpace("fuzz-mask", size)
+		p := NewProc(0, prng.NewStream(1, 0), nil, 0)
+		// Install the pre-population through the public claim op itself.
+		if got := s.ClaimMask(p, 0, pre); got != pre&valid {
+			t.Fatalf("pre-claim won %x, want %x", got, pre&valid)
+		}
+		before := s.CountClaimed()
+
+		won := s.ClaimMask(p, 0, mask)
+		if won&^(mask&valid) != 0 {
+			t.Fatalf("won bits %x outside mask %x", won, mask&valid)
+		}
+		if want := mask & valid &^ (pre & valid); won != want {
+			t.Fatalf("won %x, want the free mask subset %x", won, want)
+		}
+		if got := s.CountClaimed(); got != before+bits.OnesCount64(won) {
+			t.Fatalf("popcount %d after claim, want %d", got, before+bits.OnesCount64(won))
+		}
+		// Round trip: freeing exactly the won bits restores the pre-state.
+		s.FreeMask(p, 0, won)
+		if got := s.CountClaimed(); got != before {
+			t.Fatalf("popcount %d after round trip, want %d", got, before)
+		}
+		for i := 0; i < size; i++ {
+			if s.Probe(i) != (pre&valid&(1<<i) != 0) {
+				t.Fatalf("bit %d diverged from pre-state after round trip", i)
+			}
+		}
+
+		// ClaimUpTo obeys its count bound and picks from the bottom.
+		k := int(kSeed % 65)
+		up := s.ClaimUpTo(p, 0, k)
+		freeBefore := valid &^ (pre & valid)
+		if bits.OnesCount64(up) != min(k, bits.OnesCount64(freeBefore)) {
+			t.Fatalf("ClaimUpTo(%d) won %d bits of %d free", k, bits.OnesCount64(up), bits.OnesCount64(freeBefore))
+		}
+		if up&^freeBefore != 0 {
+			t.Fatalf("ClaimUpTo won held bits %x", up&^freeBefore)
+		}
+		if up != lowestBits(freeBefore, k) {
+			t.Fatalf("ClaimUpTo won %x, want lowest %d of %x", up, k, freeBefore)
+		}
+	})
+}

@@ -269,6 +269,10 @@ type NameSpace struct {
 	size   int
 	stride int // slots between occupied words: 1 packed, wordsPerLine padded
 	words  []atomic.Uint64
+	// sat is the word-saturation summary (one bit per bitmap word, set when
+	// a word-granular claim observed the word full, cleared by releases).
+	// It is a probe-redirection hint, never a correctness input; see claim.go.
+	sat *HintBits
 }
 
 var _ ClaimSpace = (*NameSpace)(nil)
@@ -301,6 +305,7 @@ func newNameSpace(label string, m, stride int) *NameSpace {
 		size:   m,
 		stride: stride,
 		words:  make([]atomic.Uint64, nwords*stride),
+		sat:    NewHintBits(nwords),
 	}
 }
 
@@ -353,6 +358,7 @@ func (s *NameSpace) Free(p *Proc, i int) {
 	w, mask := s.word(i)
 	p.Step(Op{Kind: OpClear, Space: s.id, Index: int32(i)})
 	w.And(^mask)
+	s.sat.Clear(i >> 6)
 }
 
 // Probe reports whether name i is taken without spending a process step.
@@ -378,4 +384,5 @@ func (s *NameSpace) Reset() {
 	for i := 0; i < len(s.words); i += s.stride {
 		s.words[i].Store(0)
 	}
+	s.sat.Reset()
 }
