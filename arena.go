@@ -3,13 +3,16 @@ package shmrename
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shmrename/internal/longlived"
 	"shmrename/internal/prng"
+	"shmrename/internal/recovery"
 	"shmrename/internal/sharded"
 	"shmrename/internal/shm"
 )
@@ -86,6 +89,54 @@ type ArenaConfig struct {
 	Probe ProbeMode
 	// Seed drives client-side randomness (probe targets).
 	Seed uint64
+	// Lease enables crash recovery: every claim carries a holder/epoch
+	// lease stamp, Heartbeat renews this handle's leases, and stale leases
+	// of dead holders are swept back into the pool (by the background
+	// reaper, SweepStale calls, and — for mmap-backed arenas — every
+	// OpenArena). Nil (the default) disables the lease layer at zero cost;
+	// enabling it adds one shared-memory step per name to each acquire and
+	// release (the stamp publish/retire CAS).
+	Lease *LeaseConfig
+}
+
+// LeaseConfig parameterizes the crash-recovery lease layer of an arena.
+// See ArenaConfig.Lease.
+type LeaseConfig struct {
+	// TTL is how long a lease stays valid without renewal (required,
+	// > 0). A holder that neither releases nor heartbeats for longer than
+	// TTL is presumed crashed, and the next sweep returns its names to the
+	// pool. Resolution is one millisecond.
+	TTL time.Duration
+	// Reaper, when positive, starts a background goroutine that sweeps the
+	// arena every Reaper interval; Close stops it. Zero means no background
+	// reaper — sweeps happen only on SweepStale (and at OpenArena time for
+	// mmap-backed arenas).
+	Reaper time.Duration
+	// Alive, when non-nil, is a liveness oracle consulted before reclaiming
+	// a TTL-stale holder: reporting true spares the holder's names. The
+	// mmap-backed arena defaults to probing the holder's process with
+	// kill(pid, 0); in-process arenas default to nil (heartbeats alone).
+	Alive func(holder uint64) bool
+}
+
+func (c *LeaseConfig) validate() error {
+	if c.TTL <= 0 {
+		return fmt.Errorf("shmrename: LeaseConfig.TTL must be > 0, got %v", c.TTL)
+	}
+	if c.Reaper < 0 {
+		return fmt.Errorf("shmrename: LeaseConfig.Reaper must be >= 0, got %v", c.Reaper)
+	}
+	return nil
+}
+
+// ttlEpochs converts the TTL to whole lease epochs (milliseconds), at
+// least one.
+func (c *LeaseConfig) ttlEpochs() uint64 {
+	e := uint64(c.TTL / time.Millisecond)
+	if e == 0 {
+		e = 1
+	}
+	return e
 }
 
 // Arena full/validation errors.
@@ -122,10 +173,19 @@ type Arena struct {
 	seed   uint64
 	nextID atomic.Int64
 	procs  sync.Pool
+	// Crash-recovery state; all nil/zero when ArenaConfig.Lease is nil.
+	rec        longlived.Recoverable
+	holder     uint64
+	epochs     shm.EpochSource
+	sweeper    *recovery.Sweeper
+	stopReaper func()
+	closer     func() error // extra teardown (mmap-backed arenas)
+	closed     atomic.Bool
 	// Cumulative operation statistics; see Stats.
 	acquires     atomic.Int64
 	acquireSteps atomic.Int64
 	releases     atomic.Int64
+	heartbeats   atomic.Int64
 }
 
 // ArenaStats is a snapshot of an arena's cumulative operation counters.
@@ -142,15 +202,32 @@ type ArenaStats struct {
 	AcquireSteps int64
 	// Releases counts successfully released names.
 	Releases int64
+	// Heartbeats counts Heartbeat calls. Always 0 with leases off.
+	Heartbeats int64
+	// Sweeps counts recovery sweep passes (SweepStale calls, background
+	// reaper ticks, and the OpenArena on-open sweep). Always 0 with leases
+	// off.
+	Sweeps int64
+	// Reclaimed counts names returned to the pool by recovery sweeps —
+	// leases of crashed holders, adopted orphan bits, and resumed
+	// half-done reclaims. Always 0 with leases off.
+	Reclaimed int64
 }
 
 // Stats returns a snapshot of the arena's cumulative operation counters.
 func (a *Arena) Stats() ArenaStats {
-	return ArenaStats{
+	st := ArenaStats{
 		Acquires:     a.acquires.Load(),
 		AcquireSteps: a.acquireSteps.Load(),
 		Releases:     a.releases.Load(),
+		Heartbeats:   a.heartbeats.Load(),
 	}
+	if a.sweeper != nil {
+		c := a.sweeper.Counters()
+		st.Sweeps = int64(c.Sweeps)
+		st.Reclaimed = int64(c.Reclaimed)
+	}
+	return st
 }
 
 // NewArena builds a long-lived renaming arena.
@@ -185,6 +262,22 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 				ArenaBackendSharded, cfg.StealProbes, cfg.Backend)
 		}
 	}
+	// The lease layer stamps every claim with this handle's holder
+	// identity (the process ID), so Heartbeat renews all of the handle's
+	// names at once and the handle — not individual goroutines — is the
+	// recovery unit.
+	var lease *longlived.LeaseOpts
+	var holder uint64
+	if cfg.Lease != nil {
+		if err := cfg.Lease.validate(); err != nil {
+			return nil, err
+		}
+		holder = uint64(os.Getpid())%shm.MaxHolder + 1
+		lease = &longlived.LeaseOpts{
+			Epochs: shm.WallEpochs{},
+			Holder: func(*shm.Proc) uint64 { return holder },
+		}
+	}
 	var impl longlived.Arena
 	switch cfg.Backend {
 	case "", ArenaLevel:
@@ -193,6 +286,7 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 			MaxPasses: acquirePasses,
 			WordScan:  wordScan,
 			Padded:    true,
+			Lease:     lease,
 		})
 	case ArenaTau:
 		impl = longlived.NewTau(cfg.Capacity, longlived.TauConfig{
@@ -201,6 +295,7 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 			WordScan:    wordScan,
 			SelfClocked: true,
 			Padded:      true,
+			Lease:       lease,
 		})
 	case ArenaBackendSharded:
 		shards := cfg.Shards
@@ -223,11 +318,37 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 			Probes:      cfg.Probes,
 			WordScan:    wordScan,
 			Padded:      true,
+			Lease:       lease,
 		})
 	default:
 		return nil, fmt.Errorf("shmrename: unknown arena backend %q", cfg.Backend)
 	}
-	return &Arena{impl: impl, seed: cfg.Seed}, nil
+	a := &Arena{impl: impl, seed: cfg.Seed}
+	if cfg.Lease != nil {
+		rec, ok := impl.(longlived.Recoverable)
+		if !ok {
+			return nil, fmt.Errorf("shmrename: backend %q does not support leases", cfg.Backend)
+		}
+		a.initLease(rec, holder, shm.WallEpochs{},
+			recovery.NewSweeper(rec, recovery.Config{
+				TTL:    cfg.Lease.ttlEpochs(),
+				Epochs: shm.WallEpochs{},
+				Alive:  cfg.Lease.Alive,
+			}), cfg.Lease.Reaper)
+	}
+	return a, nil
+}
+
+// initLease wires the crash-recovery state and starts the background
+// reaper when requested.
+func (a *Arena) initLease(rec longlived.Recoverable, holder uint64, ep shm.EpochSource, sw *recovery.Sweeper, reaper time.Duration) {
+	a.rec = rec
+	a.holder = holder
+	a.epochs = ep
+	a.sweeper = sw
+	if reaper > 0 {
+		a.stopReaper = sw.Reaper(a.proc(), reaper)
+	}
 }
 
 // proc hands out a pooled ungated process context; each fresh context gets
@@ -257,6 +378,10 @@ func (a *Arena) Backend() string { return a.impl.Label() }
 // after repeatedly finding no free slot — the steady-state signal of more
 // than Capacity concurrent holders, though sustained churn racing every
 // retry pass can produce it early.
+//
+// On any error the returned name is -1 — outside the valid name range
+// [0, NameBound), so code that drops the error can never mistake the
+// sentinel for name 0, which a healthy arena hands out constantly.
 func (a *Arena) Acquire() (int, error) {
 	p := a.proc()
 	before := p.Steps()
@@ -264,7 +389,7 @@ func (a *Arena) Acquire() (int, error) {
 	steps := p.Steps() - before
 	a.procs.Put(p)
 	if name < 0 {
-		return 0, fmt.Errorf("%w: capacity %d", ErrArenaFull, a.impl.Capacity())
+		return -1, fmt.Errorf("%w: capacity %d", ErrArenaFull, a.impl.Capacity())
 	}
 	a.acquires.Add(1)
 	a.acquireSteps.Add(steps)
@@ -332,10 +457,12 @@ func (a *Arena) releasable(name int) error {
 // names that share a bitmap word into single clearing steps (level-backed
 // arenas) and grouping by shard (sharded arenas). Invalid entries do not
 // abort the batch: every valid held name is released, and the errors for
-// the others — each wrapping ErrNotHeld with the offending name — are
-// joined into the returned error. A name repeated within the batch is
-// released once; the repeats report ErrNotHeld, exactly as sequential
-// Release calls would. The slice is not retained or modified.
+// the others — each wrapping ErrNotHeld with the offending name and its
+// position in the batch (`names[i]`) — are joined into the returned
+// error, so a caller can tell which entry of a mixed batch failed even
+// when the same name appears at several positions. A name repeated within
+// the batch is released once; the repeats report ErrNotHeld, exactly as
+// sequential Release calls would. The slice is not retained or modified.
 func (a *Arena) ReleaseAll(names []int) error {
 	var errs []error
 	valid := make([]int, 0, len(names))
@@ -346,9 +473,9 @@ func (a *Arena) ReleaseAll(names []int) error {
 	if len(names) > 64 {
 		seen = make(map[int]bool, len(names))
 	}
-	for _, n := range names {
+	for i, n := range names {
 		if err := a.releasable(n); err != nil {
-			errs = append(errs, err)
+			errs = append(errs, fmt.Errorf("names[%d]: %w", i, err))
 			continue
 		}
 		dup := false
@@ -359,7 +486,7 @@ func (a *Arena) ReleaseAll(names []int) error {
 			dup = slices.Contains(valid, n)
 		}
 		if dup {
-			errs = append(errs, fmt.Errorf("%w: name %d repeated in batch", ErrNotHeld, n))
+			errs = append(errs, fmt.Errorf("names[%d]: %w: name %d repeated in batch", i, ErrNotHeld, n))
 			continue
 		}
 		valid = append(valid, n)
@@ -371,4 +498,61 @@ func (a *Arena) ReleaseAll(names []int) error {
 		a.releases.Add(int64(len(valid)))
 	}
 	return errors.Join(errs...)
+}
+
+// Leased reports whether the crash-recovery lease layer is enabled.
+func (a *Arena) Leased() bool { return a.rec != nil }
+
+// Heartbeat renews the lease of every name this handle currently holds,
+// returning the number of renewed leases. A lease-enabled arena's holder
+// must call it more often than once per LeaseConfig.TTL, or a sweep may
+// presume the handle crashed (unless the Alive oracle vouches for it) and
+// reclaim its names. A name whose lease was already reclaimed is not
+// renewed — that name is lost to this holder. With leases off, Heartbeat
+// does nothing and returns 0.
+func (a *Arena) Heartbeat() int {
+	if a.rec == nil {
+		return 0
+	}
+	p := a.proc()
+	renewed := longlived.HeartbeatHolder(a.rec, p, a.holder, a.epochs.Now())
+	a.procs.Put(p)
+	a.heartbeats.Add(1)
+	return renewed
+}
+
+// SweepStale runs one recovery sweep: every lease that outlived its TTL
+// without renewal — and whose holder the Alive oracle (if any) does not
+// vouch for — is reclaimed, returning those names to the pool. It returns
+// the number of names reclaimed by this pass. Sweeping is safe at any
+// time, from any goroutine, concurrently with churn and with the
+// background reaper: a live holder's racing heartbeat always wins over
+// the reclaim. With leases off, SweepStale does nothing and returns 0.
+func (a *Arena) SweepStale() int {
+	if a.sweeper == nil {
+		return 0
+	}
+	p := a.proc()
+	res := a.sweeper.Sweep(p)
+	a.procs.Put(p)
+	return res.Reclaimed + res.Resumed
+}
+
+// Close releases the arena's background resources: it stops the lease
+// reaper (waiting out an in-flight sweep) and, for mmap-backed arenas,
+// detaches from the namespace file — held names stay claimed in the file
+// and are recovered by surviving processes' sweeps once their leases
+// lapse. Close is idempotent; an arena without background resources
+// closes trivially. The arena must not be used after Close.
+func (a *Arena) Close() error {
+	if !a.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if a.stopReaper != nil {
+		a.stopReaper()
+	}
+	if a.closer != nil {
+		return a.closer()
+	}
+	return nil
 }

@@ -1,5 +1,5 @@
 // Command renamebench regenerates the paper-reproduction experiments
-// E1-E17 (see ALGORITHMS.md §6) and prints their report
+// E1-E18 (see ALGORITHMS.md §6) and prints their report
 // tables.
 //
 // Usage:
@@ -42,8 +42,18 @@ func main() {
 		bench3A = flag.String("bench3-against", "", "baseline BENCH_3.json to compare -bench3 results against; exits nonzero on steps/acquire regression")
 		bench4  = flag.String("bench4", "", "write the BENCH_4.json word-engine trajectory to this path and exit")
 		bench4G = flag.Int("bench4-maxg", 64, "largest goroutine count for the -bench4 native sweep (x4 from 4)")
+		recov   = flag.Bool("recovery-smoke", false, "run the native crash-recovery smoke (abandoned-lease reclaim on every backend + mmap reattach) and exit")
 	)
 	flag.Parse()
+
+	if *recov {
+		if err := runRecoverySmoke(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("recovery smoke passed")
+		return
+	}
 
 	if *bench1 != "" {
 		if err := runBench1(*bench1, *seed, *bench1N, *bench1A); err != nil {

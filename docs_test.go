@@ -72,7 +72,7 @@ func TestDocsNameRealExperiments(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := string(data)
-	const known = 17 // E1..E17, matching harness.All()
+	const known = 18 // E1..E18, matching harness.All()
 	mentioned := make(map[int]bool)
 	for _, m := range expID.FindAllStringSubmatch(text, -1) {
 		n, err := strconv.Atoi(m[1])
@@ -90,7 +90,8 @@ func TestDocsNameRealExperiments(t *testing.T) {
 		}
 	}
 	for _, ref := range []string{"internal/taureg", "internal/longlived",
-		"internal/sched", "internal/sharded", "internal/core"} {
+		"internal/sched", "internal/sharded", "internal/core",
+		"internal/recovery", "internal/persist"} {
 		if !strings.Contains(text, ref) {
 			t.Errorf("ALGORITHMS.md missing package reference %s", ref)
 		}

@@ -1,0 +1,64 @@
+//go:build unix
+
+package shmrename_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"shmrename"
+)
+
+// ExampleOpenArena opens an mmap-backed cross-process arena twice: the
+// second handle attaches to the same file, sees the first handle's names
+// as held, and — once the first holder's lease lapses with a liveness
+// oracle that declares it dead — sweeps them back into the pool.
+func ExampleOpenArena() {
+	dir, err := os.MkdirTemp("", "openarena-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "names")
+
+	// Alive normally defaults to kill(pid, 0); forcing "dead" here stands
+	// in for a holder process that was SIGKILLed.
+	cfg := shmrename.ArenaConfig{
+		Capacity: 32,
+		Seed:     1,
+		Lease: &shmrename.LeaseConfig{
+			TTL:   time.Millisecond,
+			Alive: func(uint64) bool { return false },
+		},
+	}
+	a, err := shmrename.OpenArena(path, cfg)
+	if err != nil {
+		panic(err)
+	}
+	names, err := a.AcquireN(8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("leased:", a.Leased())
+	fmt.Println("acquired:", len(names))
+	if err := a.Close(); err != nil { // walk away holding all 8 names
+		panic(err)
+	}
+
+	time.Sleep(5 * time.Millisecond) // let the abandoned leases lapse
+	b, err := shmrename.OpenArena(path, cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer b.Close()
+	b.SweepStale()
+	fmt.Println("held after recovery:", b.Held())
+	fmt.Println("reclaimed:", b.Stats().Reclaimed)
+	// Output:
+	// leased: true
+	// acquired: 8
+	// held after recovery: 0
+	// reclaimed: 8
+}

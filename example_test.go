@@ -2,6 +2,7 @@ package shmrename_test
 
 import (
 	"fmt"
+	"time"
 
 	"shmrename"
 )
@@ -131,6 +132,35 @@ func ExampleNewArena_sharded() {
 	// backend: sharded-level(shards=4,steal=2,scan=word)
 	// distinct names: 64
 	// within envelope: true
+}
+
+// ExampleNewArena_leased turns on lease stamps: a holder that stops
+// heartbeating loses its names back to the pool after the TTL, so a
+// crashed participant cannot leak name capacity forever.
+func ExampleNewArena_leased() {
+	arena, err := shmrename.NewArena(shmrename.ArenaConfig{
+		Capacity: 16,
+		Seed:     1,
+		Lease:    &shmrename.LeaseConfig{TTL: time.Millisecond},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer arena.Close()
+	names, err := arena.AcquireN(4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("held:", arena.Held())
+	// Simulate a crash: nobody releases, nobody heartbeats.
+	_ = names
+	time.Sleep(5 * time.Millisecond)
+	fmt.Println("swept:", arena.SweepStale())
+	fmt.Println("held after sweep:", arena.Held())
+	// Output:
+	// held: 4
+	// swept: 4
+	// held after sweep: 0
 }
 
 // ExampleCountingDevice elects a bounded committee: no matter how many

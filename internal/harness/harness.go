@@ -1,6 +1,7 @@
-// Package harness defines the experiment suite E1-E17: one reproducible
+// Package harness defines the experiment suite E1-E18: one reproducible
 // experiment per quantitative claim of the paper plus the repository's
-// extensions (long-lived churn, the sharded multicore frontend); see
+// extensions (long-lived churn, the sharded multicore frontend, crash
+// recovery); see
 // ALGORITHMS.md §6 for the index. Each experiment sweeps its parameters
 // over seeded trials, verifies correctness of every execution, and emits
 // report tables consumed by cmd/renamebench.
@@ -58,7 +59,7 @@ func All() []Experiment {
 	return []Experiment{
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
-		expE13(), expE14(), expE15(), expE16(), expE17(),
+		expE13(), expE14(), expE15(), expE16(), expE17(), expE18(),
 	}
 }
 

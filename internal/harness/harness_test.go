@@ -11,7 +11,7 @@ import (
 func tiny() Config { return Config{Trials: 2, Seed: 11} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -358,6 +358,50 @@ func TestE17WordEngineInvariants(t *testing.T) {
 		}
 		if strings.HasPrefix(cell, "level-array/") && word*2 > bit {
 			t.Fatalf("cell %s: word path %.1f not >= 2x below bit path %.1f", cell, word, bit)
+		}
+	}
+}
+
+func TestE18FaultInjectionInvariants(t *testing.T) {
+	tabs := checkTables(t, "E18")
+	for _, row := range tabs[0].Rows {
+		// Crash modes drawn per worker must sum to workers x rounds x trials.
+		k, _ := strconv.Atoi(row[2])
+		rounds, _ := strconv.Atoi(row[3])
+		total := 0
+		for _, col := range []int{4, 5, 6, 7} {
+			v, err := strconv.Atoi(row[col])
+			if err != nil {
+				t.Fatalf("bad mode cell %q: %v", row[col], err)
+			}
+			total += v
+		}
+		if want := k * rounds * tiny().Trials; total != want {
+			t.Fatalf("E18 modes sum %d, want %d: %v", total, want, row)
+		}
+		// Every mid-release victim is adopted (ClearOwned zeroed its stamp);
+		// a pre-publish orphan is adopted only when its slot's stamp was
+		// zero — one landing on a stale tombstone left by an earlier
+		// round's reclaim is swept directly as a walked-away bit.
+		prepub, _ := strconv.Atoi(row[6])
+		midrel, _ := strconv.Atoi(row[7])
+		adopted, _ := strconv.Atoi(row[9])
+		if adopted < midrel || adopted > prepub+midrel {
+			t.Fatalf("E18 adopted %d outside [%d, %d]: %v", adopted, midrel, prepub+midrel, row)
+		}
+		// Resumed reclaims equal the planted reaper crashes.
+		planted, _ := strconv.Atoi(row[8])
+		resumed, _ := strconv.Atoi(row[11])
+		if resumed != planted {
+			t.Fatalf("E18 resumed %d, want %d planted suspects: %v", resumed, planted, row)
+		}
+		// Only the tau backend may leak device bits.
+		leaked, _ := strconv.Atoi(row[12])
+		if row[0] != "tau-longlived" && leaked != 0 {
+			t.Fatalf("E18 non-tau backend leaked: %v", row)
+		}
+		if row[0] == "tau-longlived" && leaked != prepub+midrel {
+			t.Fatalf("E18 tau leak %d, want one bit per crash window %d: %v", leaked, prepub+midrel, row)
 		}
 	}
 }

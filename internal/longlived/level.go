@@ -32,6 +32,11 @@ type LevelConfig struct {
 	// Padded lays level bitmaps out one word per cache line for native
 	// runs on real cores; leave false for simulated runs.
 	Padded bool
+	// Lease enables the crash-recovery stamp layer (see LeaseOpts): every
+	// claim publishes a holder/epoch lease stamp and every release retires
+	// it, at one extra step per name each way, so a recovery sweep can
+	// reclaim names whose holder crashed. Nil (the default) costs nothing.
+	Lease *LeaseOpts
 	// Label prefixes the operation-space labels. Default "arena".
 	Label string
 }
@@ -67,9 +72,13 @@ type LevelArena struct {
 	base   []int // base[i] = first global name of level i
 	bound  int
 	cap    int
+	// stamps is the lease-stamp array of the crash-recovery layer, indexed
+	// by global name across all levels; nil when LevelConfig.Lease is off.
+	stamps *shm.Stamps
 }
 
 var _ Arena = (*LevelArena)(nil)
+var _ Recoverable = (*LevelArena)(nil)
 
 // NewLevel builds a level arena guaranteeing capacity concurrent holders.
 func NewLevel(capacity int, cfg LevelConfig) *LevelArena {
@@ -88,6 +97,12 @@ func NewLevel(capacity int, cfg LevelConfig) *LevelArena {
 		a.addLevel(mkSpace, size)
 	}
 	a.addLevel(mkSpace, capacity)
+	if cfg.Lease.enabled() {
+		a.stamps = shm.NewStamps(cfg.Label+":lease", a.bound)
+		for li, lvl := range a.levels {
+			lvl.AttachStamps(a.stamps, a.base[li])
+		}
+	}
 	return a
 }
 
@@ -116,6 +131,42 @@ func (a *LevelArena) NameBound() int { return a.bound }
 // Levels returns the number of levels (diagnostics).
 func (a *LevelArena) Levels() int { return len(a.levels) }
 
+// Leased reports whether the crash-recovery lease layer is on.
+func (a *LevelArena) Leased() bool { return a.stamps != nil }
+
+// leaseStamp returns the proc's current lease stamp, or 0 with leases off.
+// Computed once per operation: one epoch read covers the whole pass.
+func (a *LevelArena) leaseStamp(p *shm.Proc) uint64 {
+	if a.stamps == nil {
+		return 0
+	}
+	return a.cfg.Lease.stamp(p)
+}
+
+// tryClaim is TryClaim or its stamped variant, per the lease layer.
+func (a *LevelArena) tryClaim(p *shm.Proc, lvl *shm.NameSpace, i int, stamp uint64) bool {
+	if stamp == 0 {
+		return lvl.TryClaim(p, i)
+	}
+	return lvl.TryClaimStamped(p, i, stamp)
+}
+
+// claimFirstFree is ClaimFirstFree or its stamped variant.
+func (a *LevelArena) claimFirstFree(p *shm.Proc, lvl *shm.NameSpace, w int, stamp uint64) int {
+	if stamp == 0 {
+		return lvl.ClaimFirstFree(p, w)
+	}
+	return lvl.ClaimFirstFreeStamped(p, w, stamp)
+}
+
+// claimUpTo is ClaimUpTo or its stamped variant.
+func (a *LevelArena) claimUpTo(p *shm.Proc, lvl *shm.NameSpace, w, k int, stamp uint64) uint64 {
+	if stamp == 0 {
+		return lvl.ClaimUpTo(p, w, k)
+	}
+	return lvl.ClaimUpToStamped(p, w, k, stamp)
+}
+
 // Acquire implements Arena: random probes down the ladder, then a
 // deterministic backstop scan; repeat up to MaxPasses passes. With WordScan
 // the probes and the backstop run word-granular (see acquireWord).
@@ -123,13 +174,14 @@ func (a *LevelArena) Acquire(p *shm.Proc) int {
 	if a.cfg.WordScan {
 		return a.acquireWord(p)
 	}
+	stamp := a.leaseStamp(p)
 	r := p.Rand()
 	backstop := len(a.levels) - 1
 	for pass := 0; a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses; pass++ {
 		for li, lvl := range a.levels {
 			for t := 0; t < a.cfg.Probes; t++ {
 				i := r.Intn(lvl.Size())
-				if lvl.TryClaim(p, i) {
+				if a.tryClaim(p, lvl, i, stamp) {
 					return a.base[li] + i
 				}
 			}
@@ -142,7 +194,7 @@ func (a *LevelArena) Acquire(p *shm.Proc) int {
 			if lvl.Claimed(p, i) {
 				continue
 			}
-			if lvl.TryClaim(p, i) {
+			if a.tryClaim(p, lvl, i, stamp) {
 				return a.base[backstop] + i
 			}
 		}
@@ -158,6 +210,7 @@ func (a *LevelArena) Acquire(p *shm.Proc) int {
 // itself, so a stale hint (a release racing the claim that set it) can
 // never starve the termination guarantee.
 func (a *LevelArena) acquireWord(p *shm.Proc) int {
+	stamp := a.leaseStamp(p)
 	r := p.Rand()
 	backstop := len(a.levels) - 1
 	for pass := 0; a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses; pass++ {
@@ -168,14 +221,14 @@ func (a *LevelArena) acquireWord(p *shm.Proc) int {
 				if lvl.WordSaturated(w) {
 					continue
 				}
-				if n := lvl.ClaimFirstFree(p, w); n >= 0 {
+				if n := a.claimFirstFree(p, lvl, w, stamp); n >= 0 {
 					return a.base[li] + n
 				}
 			}
 		}
 		lvl := a.levels[backstop]
 		for w := 0; w < lvl.Words(); w++ {
-			if n := lvl.ClaimFirstFree(p, w); n >= 0 {
+			if n := a.claimFirstFree(p, lvl, w, stamp); n >= 0 {
 				return a.base[backstop] + n
 			}
 		}
@@ -200,6 +253,7 @@ func (a *LevelArena) AcquireN(p *shm.Proc, k int, out []int) []int {
 		}
 		return out
 	}
+	stamp := a.leaseStamp(p)
 	r := p.Rand()
 	backstop := len(a.levels) - 1
 	for pass := 0; k > 0 && (a.cfg.MaxPasses == 0 || pass < a.cfg.MaxPasses); pass++ {
@@ -210,12 +264,12 @@ func (a *LevelArena) AcquireN(p *shm.Proc, k int, out []int) []int {
 				if lvl.WordSaturated(w) {
 					continue
 				}
-				out, k = appendMask(out, a.base[li]+w<<6, lvl.ClaimUpTo(p, w, k), k)
+				out, k = appendMask(out, a.base[li]+w<<6, a.claimUpTo(p, lvl, w, k, stamp), k)
 			}
 		}
 		lvl := a.levels[backstop]
 		for w := 0; k > 0 && w < lvl.Words(); w++ {
-			out, k = appendMask(out, a.base[backstop]+w<<6, lvl.ClaimUpTo(p, w, k), k)
+			out, k = appendMask(out, a.base[backstop]+w<<6, a.claimUpTo(p, lvl, w, k, stamp), k)
 		}
 	}
 	return out
@@ -242,9 +296,16 @@ func (a *LevelArena) locate(name int) (int, int) {
 	return li, name - a.base[li]
 }
 
-// Release implements Arena.
+// Release implements Arena. With leases on, the release retires the stamp
+// first (CAS mine→0) and only then clears the claim bit; a stamp the
+// recovery sweep already reclaimed means the name is no longer ours, and
+// the bit is left alone.
 func (a *LevelArena) Release(p *shm.Proc, name int) {
 	li, i := a.locate(name)
+	if a.stamps != nil {
+		a.levels[li].FreeStamped(p, i, a.cfg.Lease.holder(p))
+		return
+	}
 	a.levels[li].Free(p, i)
 }
 
@@ -280,9 +341,31 @@ func (a *LevelArena) ReleaseN(p *shm.Proc, names []int) {
 			}
 			mask |= 1 << (uint(locj) & 63)
 		}
-		a.levels[li].FreeMask(p, w, mask)
+		if a.stamps != nil {
+			a.levels[li].FreeMaskStamped(p, w, mask, a.cfg.Lease.holder(p))
+		} else {
+			a.levels[li].FreeMask(p, w, mask)
+		}
 		i = j
 	}
+}
+
+// LeaseDomains implements Recoverable: one domain spanning the whole
+// ladder, since the stamp array is laid out by global name. Nil when the
+// lease layer is off.
+func (a *LevelArena) LeaseDomains() []LeaseDomain {
+	if a.stamps == nil {
+		return nil
+	}
+	return []LeaseDomain{{
+		Base:   0,
+		Stamps: a.stamps,
+		IsHeld: a.IsHeld,
+		Reclaim: func(p *shm.Proc, i int) {
+			li, loc := a.locate(i)
+			a.levels[li].Free(p, loc)
+		},
+	}}
 }
 
 // Touch implements Arena: one read of the name's TAS register.

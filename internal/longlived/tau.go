@@ -39,6 +39,14 @@ type TauConfig struct {
 	SelfClocked bool
 	// Padded pads the name bitmap for native runs.
 	Padded bool
+	// Lease enables the crash-recovery stamp layer on the name bitmap (see
+	// LeaseOpts). Device bits are NOT stamped — the τ-register counting
+	// hardware has no holder identity — so a holder that crashes between
+	// winning a device bit and claiming a name, or mid-release after the
+	// stamp retired but before ReleaseBit, leaks that device's counting
+	// capacity until the device drains; names themselves are always
+	// recovered. Nil (the default) costs nothing.
+	Lease *LeaseOpts
 	// Label prefixes the operation-space labels. Default "tauarena".
 	Label string
 }
@@ -99,9 +107,13 @@ type TauArena struct {
 	// (+1, 0 = unset). Written by the holder between winning the name and
 	// releasing it; the atomic store orders it against the name bit.
 	bitOf []atomic.Int32
+	// stamps is the lease-stamp array over the name bitmap; nil when
+	// TauConfig.Lease is off.
+	stamps *shm.Stamps
 }
 
 var _ Arena = (*TauArena)(nil)
+var _ Recoverable = (*TauArena)(nil)
 
 // NewTau builds a τ-register arena guaranteeing capacity concurrent
 // holders.
@@ -125,6 +137,10 @@ func NewTau(capacity int, cfg TauConfig) *TauArena {
 	for d := range a.devices {
 		a.devices[d] = taureg.NewDevice(fmt.Sprintf("%s:dev%d", cfg.Label, d),
 			cfg.Width, cfg.Tau, cfg.SelfClocked)
+	}
+	if cfg.Lease.enabled() {
+		a.stamps = shm.NewStamps(cfg.Label+":lease", a.names.Size())
+		a.names.AttachStamps(a.stamps, 0)
 	}
 	return a
 }
@@ -154,15 +170,24 @@ func (a *TauArena) Device(d int) *taureg.Device { return a.devices[d] }
 // Tau returns the per-device threshold (diagnostics).
 func (a *TauArena) Tau() int { return a.cfg.Tau }
 
+// leaseStamp returns the proc's current lease stamp, or 0 with leases off.
+func (a *TauArena) leaseStamp(p *shm.Proc) uint64 {
+	if a.stamps == nil {
+		return 0
+	}
+	return a.cfg.Lease.stamp(p)
+}
+
 // Acquire implements Arena.
 func (a *TauArena) Acquire(p *shm.Proc) int {
+	stamp := a.leaseStamp(p)
 	r := p.Rand()
 	nd := len(a.devices)
 	for t := 0; t < a.cfg.Probes; t++ {
 		d := r.Intn(nd)
 		b := r.Intn(a.cfg.Width)
 		if a.devices[d].AcquireBit(p, b) == taureg.Won {
-			return a.claimName(p, d, b, r.Intn(a.cfg.Tau))
+			return a.claimName(p, d, b, r.Intn(a.cfg.Tau), stamp)
 		}
 	}
 	// Deterministic fallback sweep, the termination guarantee: walk the
@@ -179,7 +204,7 @@ func (a *TauArena) Acquire(p *shm.Proc) int {
 					continue
 				}
 				if dev.AcquireBit(p, b) == taureg.Won {
-					return a.claimName(p, d, b, 0)
+					return a.claimName(p, d, b, 0, stamp)
 				}
 			}
 		}
@@ -195,12 +220,18 @@ func (a *TauArena) Acquire(p *shm.Proc) int {
 // holders < τ), so the scan terminates. With WordScan the block is claimed
 // through word snapshots (ClaimFirstFreeRange): at most ⌈τ/64⌉+1 steps per
 // attempt instead of τ single-bit probes.
-func (a *TauArena) claimName(p *shm.Proc, d, bit, start int) int {
+func (a *TauArena) claimName(p *shm.Proc, d, bit, start int, stamp uint64) int {
 	tau := a.cfg.Tau
 	base := d * tau
 	if a.cfg.WordScan {
 		for {
-			if g := a.names.ClaimFirstFreeRange(p, base, base+tau); g >= 0 {
+			g := -1
+			if stamp != 0 {
+				g = a.names.ClaimFirstFreeRangeStamped(p, base, base+tau, stamp)
+			} else {
+				g = a.names.ClaimFirstFreeRange(p, base, base+tau)
+			}
+			if g >= 0 {
 				a.bitOf[g].Store(int32(bit) + 1)
 				return g
 			}
@@ -209,7 +240,13 @@ func (a *TauArena) claimName(p *shm.Proc, d, bit, start int) int {
 	for {
 		for j := 0; j < tau; j++ {
 			g := base + (start+j)%tau
-			if a.names.TryClaim(p, g) {
+			won := false
+			if stamp != 0 {
+				won = a.names.TryClaimStamped(p, g, stamp)
+			} else {
+				won = a.names.TryClaim(p, g)
+			}
+			if won {
 				a.bitOf[g].Store(int32(bit) + 1)
 				return g
 			}
@@ -248,7 +285,17 @@ func (a *TauArena) Release(p *shm.Proc, name int) {
 		// and Held() drain checks surface the violation in tests.
 		return
 	}
-	a.names.Free(p, name)
+	if a.stamps != nil {
+		// The device bit is guarded solely by the bitOf swap we just won;
+		// the name bit and stamp are guarded by the stamp CAS inside
+		// FreeStamped. If the recovery sweep already reclaimed the lease,
+		// FreeStamped declines and the sweep clears the name bit itself
+		// (its own bitOf swap lost, so it skips ReleaseBit — no double
+		// release either way).
+		a.names.FreeStamped(p, name, a.cfg.Lease.holder(p))
+	} else {
+		a.names.Free(p, name)
+	}
 	a.devices[name/a.cfg.Tau].ReleaseBit(p, int(b))
 }
 
@@ -260,6 +307,28 @@ func (a *TauArena) ReleaseN(p *shm.Proc, names []int) {
 	for _, n := range names {
 		a.Release(p, n)
 	}
+}
+
+// LeaseDomains implements Recoverable: one domain over the name bitmap.
+// Reclaiming a crashed holder's name also returns its recorded device bit
+// (when the crash left one recorded) so the counting device regains
+// capacity; a crash that died before recording the bit leaks that device
+// slot, as documented on TauConfig.Lease.
+func (a *TauArena) LeaseDomains() []LeaseDomain {
+	if a.stamps == nil {
+		return nil
+	}
+	return []LeaseDomain{{
+		Base:   0,
+		Stamps: a.stamps,
+		IsHeld: a.IsHeld,
+		Reclaim: func(p *shm.Proc, i int) {
+			if b := a.bitOf[i].Swap(0) - 1; b >= 0 {
+				a.devices[i/a.cfg.Tau].ReleaseBit(p, int(b))
+			}
+			a.names.Free(p, i)
+		},
+	}}
 }
 
 // Touch implements Arena.

@@ -1,0 +1,52 @@
+package persist
+
+import (
+	"os"
+
+	"shmrename/internal/shm"
+)
+
+// Options parameterizes Open.
+type Options struct {
+	// Names is the namespace size m (names 0..m-1). Required when creating
+	// the file; when attaching to an existing file it must either be 0 or
+	// match the file's geometry.
+	Names int
+	// TTL is the lease time-to-live in epochs (milliseconds under the
+	// default clock). Default 1000.
+	TTL uint64
+	// Epochs overrides the lease clock. Default shm.WallEpochs{} — the only
+	// clock meaningful across processes.
+	Epochs shm.EpochSource
+	// Holder overrides the handle's holder identity. Default: the process
+	// ID. Tests use distinct fake holders to simulate many processes in one.
+	Holder uint64
+	// Alive overrides the liveness oracle. Default: kill(holder, 0).
+	Alive func(holder uint64) bool
+	// MaxPasses bounds Acquire's full scans of the bitmap before reporting
+	// the namespace full. Default 4.
+	MaxPasses int
+	// Label prefixes the operation-space labels. Default "persist".
+	Label string
+}
+
+func (o *Options) fill() {
+	if o.TTL == 0 {
+		o.TTL = 1000
+	}
+	if o.Epochs == nil {
+		o.Epochs = shm.WallEpochs{}
+	}
+	if o.Holder == 0 {
+		o.Holder = uint64(os.Getpid())
+	}
+	if o.Alive == nil {
+		o.Alive = pidAlive
+	}
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 4
+	}
+	if o.Label == "" {
+		o.Label = "persist"
+	}
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+// Non-unix stub: the mmap-backed namespace needs MAP_SHARED file mappings
+// and kill(pid, 0) liveness probes, both unix-only. Open reports the
+// platform gap instead of failing to compile; in-process arenas (packages
+// longlived and sharded) are unaffected.
+package persist
+
+import "errors"
+
+// Arena is unavailable on this platform.
+type Arena struct{}
+
+// Open always fails on non-unix platforms.
+func Open(path string, opt Options) (*Arena, error) {
+	return nil, errors.New("persist: mmap-backed namespaces require a unix platform")
+}
+
+// Close is a no-op on non-unix platforms.
+func (a *Arena) Close() error { return nil }
+
+// pidAlive is unavailable without kill(2); report dead so a hypothetical
+// sweep never spares a holder it cannot verify.
+func pidAlive(holder uint64) bool { return false }

@@ -1,0 +1,302 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/prng"
+	"shmrename/internal/sharded"
+	"shmrename/internal/shm"
+)
+
+// leaseBackends maps each backend shape to a constructor of a
+// lease-enabled arena over the given epoch source.
+var leaseBackends = map[string]func(ep shm.EpochSource) longlived.Recoverable{
+	"level": func(ep shm.EpochSource) longlived.Recoverable {
+		return longlived.NewLevel(64, longlived.LevelConfig{Lease: &longlived.LeaseOpts{Epochs: ep}, MaxPasses: 4})
+	},
+	"level-word": func(ep shm.EpochSource) longlived.Recoverable {
+		return longlived.NewLevel(64, longlived.LevelConfig{Lease: &longlived.LeaseOpts{Epochs: ep}, MaxPasses: 4, WordScan: true})
+	},
+	"tau": func(ep shm.EpochSource) longlived.Recoverable {
+		return longlived.NewTau(64, longlived.TauConfig{Lease: &longlived.LeaseOpts{Epochs: ep}, MaxPasses: 4, SelfClocked: true})
+	},
+	"tau-word": func(ep shm.EpochSource) longlived.Recoverable {
+		return longlived.NewTau(64, longlived.TauConfig{Lease: &longlived.LeaseOpts{Epochs: ep}, MaxPasses: 4, SelfClocked: true, WordScan: true})
+	},
+	"sharded": func(ep shm.EpochSource) longlived.Recoverable {
+		return sharded.New(64, sharded.Config{Shards: 4, Lease: &longlived.LeaseOpts{Epochs: ep}, MaxPasses: 4})
+	},
+}
+
+func acquireAll(t *testing.T, a longlived.Recoverable, p *shm.Proc, k int) []int {
+	t.Helper()
+	names := make([]int, 0, k)
+	for range k {
+		n := a.Acquire(p)
+		if n < 0 {
+			t.Fatalf("acquire %d/%d failed", len(names), k)
+		}
+		names = append(names, n)
+	}
+	return names
+}
+
+// TestSweepReclaimsDeadHolder is the core guarantee, per backend: a holder
+// that stops heartbeating past the TTL loses its names back to the pool,
+// and the full capacity is re-acquirable afterwards — which for the τ
+// backend also proves the reclaim returned the counting-device bits.
+func TestSweepReclaimsDeadHolder(t *testing.T) {
+	for label, mk := range leaseBackends {
+		t.Run(label, func(t *testing.T) {
+			ep := shm.NewCounterEpochs(1)
+			a := mk(ep)
+			p := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+			acquireAll(t, a, p, a.Capacity())
+			// The holder dies: no further steps, no heartbeats.
+			ep.Advance(10)
+			sw := NewSweeper(a, Config{TTL: 5, Epochs: ep})
+			reaper := shm.NewProc(200, prng.NewStream(1, 200), nil, 0)
+			res := sw.Sweep(reaper)
+			if res.Reclaimed != a.Capacity() {
+				t.Fatalf("reclaimed %d of %d", res.Reclaimed, a.Capacity())
+			}
+			if h := a.Held(); h != 0 {
+				t.Fatalf("%d names still held after sweep", h)
+			}
+			// The pool must be whole again: full capacity from a new client.
+			p2 := shm.NewProc(2, prng.NewStream(1, 2), nil, 0)
+			acquireAll(t, a, p2, a.Capacity())
+			if got := sw.Counters().Reclaimed; got != uint64(a.Capacity()) {
+				t.Fatalf("counter reclaimed %d", got)
+			}
+		})
+	}
+}
+
+// TestSweepSparesLiveHolder pins the no-lost-name side: a holder whose
+// heartbeat lands before the sweep keeps every name even far past the TTL
+// of its original stamps.
+func TestSweepSparesLiveHolder(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	lease := &longlived.LeaseOpts{Epochs: ep, Holder: func(*shm.Proc) uint64 { return 7 }}
+	a := longlived.NewLevel(64, longlived.LevelConfig{Lease: lease, MaxPasses: 4})
+	p := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+	names := acquireAll(t, a, p, 8)
+	ep.Advance(100)
+	if got := longlived.HeartbeatHolder(a, p, 7, ep.Now()); got != len(names) {
+		t.Fatalf("heartbeat renewed %d of %d", got, len(names))
+	}
+	sw := NewSweeper(a, Config{TTL: 5, Epochs: ep})
+	if res := sw.Sweep(shm.NewProc(200, prng.NewStream(1, 200), nil, 0)); res.Reclaimed != 0 || res.Adopted != 0 {
+		t.Fatalf("sweep disturbed a live holder: %+v", res)
+	}
+	for _, n := range names {
+		if !a.IsHeld(n) {
+			t.Fatalf("name %d lost despite heartbeat", n)
+		}
+	}
+}
+
+// TestSweepAliveOracle: a TTL-stale holder that the liveness oracle
+// reports alive is spared; once the oracle flips, the names are reclaimed.
+func TestSweepAliveOracle(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	lease := &longlived.LeaseOpts{Epochs: ep, Holder: func(*shm.Proc) uint64 { return 9 }}
+	a := longlived.NewLevel(64, longlived.LevelConfig{Lease: lease, MaxPasses: 4})
+	p := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+	acquireAll(t, a, p, 4)
+	ep.Advance(100)
+	alive := true
+	sw := NewSweeper(a, Config{TTL: 5, Epochs: ep, Alive: func(h uint64) bool {
+		if h != 9 {
+			t.Errorf("oracle asked about holder %d", h)
+		}
+		return alive
+	}})
+	reaper := shm.NewProc(200, prng.NewStream(1, 200), nil, 0)
+	if res := sw.Sweep(reaper); res.Reclaimed != 0 {
+		t.Fatalf("reclaimed a holder the oracle reported alive: %+v", res)
+	}
+	alive = false
+	if res := sw.Sweep(reaper); res.Reclaimed != 4 {
+		t.Fatalf("reclaimed %d after oracle flip", res.Reclaimed)
+	}
+	if a.Held() != 0 {
+		t.Fatal("names survived a dead-oracle sweep")
+	}
+}
+
+// crashOnce arms the stamps' crash hook to fire one LeaseCrash at the
+// given point, and returns a function running f with the panic recovered.
+func crashOnce(st *shm.Stamps, point shm.CrashPoint) func(f func()) (crashed bool) {
+	armed := true
+	st.SetCrashHook(func(p *shm.Proc, pt shm.CrashPoint, name int) bool {
+		if armed && pt == point {
+			armed = false
+			return true
+		}
+		return false
+	})
+	return func(f func()) (crashed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(shm.LeaseCrash); !ok {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		f()
+		return false
+	}
+}
+
+// TestSweepAdoptsPrePublishCrash: a claimer that dies after winning the
+// claim bit but before publishing its stamp leaves a bit with no owner.
+// The sweep adopts it (grace period for in-flight publishers), then
+// reclaims the orphan once stale.
+func TestSweepAdoptsPrePublishCrash(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	lease := &longlived.LeaseOpts{Epochs: ep}
+	a := longlived.NewLevel(64, longlived.LevelConfig{Lease: lease, MaxPasses: 4})
+	st := a.LeaseDomains()[0].Stamps
+	p := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+	run := crashOnce(st, shm.CrashPrePublish)
+	if !run(func() { a.Acquire(p) }) {
+		t.Fatal("crash hook did not fire")
+	}
+	if a.Held() != 1 {
+		t.Fatalf("held %d after pre-publish crash, want the orphaned bit", a.Held())
+	}
+	sw := NewSweeper(a, Config{TTL: 5, Epochs: ep})
+	reaper := shm.NewProc(200, prng.NewStream(1, 200), nil, 0)
+	if res := sw.Sweep(reaper); res.Adopted != 1 || res.Reclaimed != 0 {
+		t.Fatalf("first sweep %+v, want one adoption", res)
+	}
+	if a.Held() != 1 {
+		t.Fatal("adoption must not free the name yet")
+	}
+	ep.Advance(10)
+	if res := sw.Sweep(reaper); res.Reclaimed != 1 {
+		t.Fatalf("second sweep %+v, want the orphan reclaimed", res)
+	}
+	if a.Held() != 0 {
+		t.Fatal("orphan not freed")
+	}
+	acquireAll(t, a, shm.NewProc(2, prng.NewStream(1, 2), nil, 0), 64)
+}
+
+// TestSweepMidReleaseCrash: a holder that dies after retiring its stamp
+// but before clearing the claim bit leaves the same orphan shape; the
+// adopt-then-reclaim path recovers it.
+func TestSweepMidReleaseCrash(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	lease := &longlived.LeaseOpts{Epochs: ep}
+	a := longlived.NewLevel(64, longlived.LevelConfig{Lease: lease, MaxPasses: 4})
+	st := a.LeaseDomains()[0].Stamps
+	p := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+	n := a.Acquire(p)
+	if n < 0 {
+		t.Fatal("acquire")
+	}
+	run := crashOnce(st, shm.CrashMidRelease)
+	if !run(func() { a.Release(p, n) }) {
+		t.Fatal("crash hook did not fire")
+	}
+	if !a.IsHeld(n) || st.Load(n) != 0 {
+		t.Fatalf("mid-release crash shape wrong: held=%v stamp=%#x", a.IsHeld(n), st.Load(n))
+	}
+	sw := NewSweeper(a, Config{TTL: 5, Epochs: ep})
+	reaper := shm.NewProc(200, prng.NewStream(1, 200), nil, 0)
+	if res := sw.Sweep(reaper); res.Adopted != 1 {
+		t.Fatalf("sweep %+v, want adoption", res)
+	}
+	ep.Advance(10)
+	if res := sw.Sweep(reaper); res.Reclaimed != 1 {
+		t.Fatalf("sweep %+v, want reclaim", res)
+	}
+	if a.Held() != 0 {
+		t.Fatal("name not recovered")
+	}
+}
+
+// TestSweepResumesCrashedReaper: a suspect mark left by a reaper that died
+// mid-reclaim is resumed — the name re-cleared and the mark retired — once
+// the mark itself goes stale.
+func TestSweepResumesCrashedReaper(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	lease := &longlived.LeaseOpts{Epochs: ep}
+	a := longlived.NewLevel(64, longlived.LevelConfig{Lease: lease, MaxPasses: 4})
+	d := a.LeaseDomains()[0]
+	p := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+	n := a.Acquire(p)
+	// A reaper observed the stamp, marked it suspect, and crashed before
+	// clearing the name.
+	if !d.Stamps.BeginReclaim(n, d.Stamps.Load(n), ep.Now()) {
+		t.Fatal("plant suspect")
+	}
+	ep.Advance(10)
+	sw := NewSweeper(a, Config{TTL: 5, Epochs: ep})
+	res := sw.Sweep(shm.NewProc(200, prng.NewStream(1, 200), nil, 0))
+	if res.Resumed != 1 {
+		t.Fatalf("sweep %+v, want one resumed reclaim", res)
+	}
+	if a.Held() != 0 {
+		t.Fatal("resumed reclaim did not free the name")
+	}
+	if h, _ := shm.UnpackStamp(d.Stamps.Load(n)); h != shm.HolderTomb {
+		t.Fatalf("suspect not retired: holder %d", h)
+	}
+}
+
+// TestShardedLeaseDomains pins the frontend's domain geometry: one domain
+// per shard, bases ascending by the shard stride, jointly tiling the
+// arena's name bound.
+func TestShardedLeaseDomains(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	lease := &longlived.LeaseOpts{Epochs: ep}
+	a := sharded.New(64, sharded.Config{Shards: 4, Lease: lease, MaxPasses: 4})
+	ds := a.LeaseDomains()
+	if len(ds) != 4 {
+		t.Fatalf("%d domains, want 4", len(ds))
+	}
+	covered := 0
+	for s, d := range ds {
+		if d.Base != a.ShardBase(s) {
+			t.Fatalf("domain %d base %d, want shard base %d", s, d.Base, a.ShardBase(s))
+		}
+		covered += d.Stamps.Size()
+	}
+	if covered != a.NameBound() {
+		t.Fatalf("domains cover %d of %d names", covered, a.NameBound())
+	}
+}
+
+// TestReaperBackground runs the background reaper against a native arena:
+// a holder dies, the epoch clock moves past the TTL, and the reaper frees
+// the names within a bounded wait without any explicit Sweep call.
+func TestReaperBackground(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	lease := &longlived.LeaseOpts{Epochs: ep}
+	a := longlived.NewLevel(64, longlived.LevelConfig{Lease: lease, MaxPasses: 4})
+	p := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+	acquireAll(t, a, p, 16)
+	sw := NewSweeper(a, Config{TTL: 5, Epochs: ep})
+	stop := sw.Reaper(shm.NewProc(200, prng.NewStream(1, 200), nil, 0), time.Millisecond)
+	defer stop()
+	ep.Advance(10)
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Held() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper left %d names held", a.Held())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if got := sw.Counters().Reclaimed; got != 16 {
+		t.Fatalf("counter reclaimed %d", got)
+	}
+}

@@ -112,6 +112,11 @@ type Config struct {
 	// Padded forwards the cache-line-padded bitmap layout to every shard,
 	// for native runs on real cores.
 	Padded bool
+	// Lease forwards the crash-recovery stamp layer to every shard (see
+	// longlived.LeaseOpts); the frontend then exposes the shards' stamped
+	// regions through LeaseDomains, offset by each shard's name base. Nil
+	// (the default) costs nothing.
+	Lease *longlived.LeaseOpts
 	// Label prefixes the operation-space labels. Default "sharded".
 	Label string
 }
@@ -158,6 +163,7 @@ type Arena struct {
 }
 
 var _ longlived.Arena = (*Arena)(nil)
+var _ longlived.Recoverable = (*Arena)(nil)
 
 // New builds a sharded arena guaranteeing capacity concurrent holders
 // across all stripes.
@@ -184,6 +190,7 @@ func New(capacity int, cfg Config) *Arena {
 				MaxPasses: 1, // one bounded pass per frontend attempt
 				WordScan:  cfg.WordScan,
 				Padded:    cfg.Padded,
+				Lease:     cfg.Lease,
 				Label:     label,
 			})
 		case SubTau:
@@ -193,6 +200,7 @@ func New(capacity int, cfg Config) *Arena {
 				WordScan:    cfg.WordScan,
 				SelfClocked: true,
 				Padded:      cfg.Padded,
+				Lease:       cfg.Lease,
 				Label:       label,
 			})
 		default:
@@ -484,6 +492,24 @@ func (a *Arena) ReleaseN(p *shm.Proc, names []int) {
 	if first >= 0 {
 		a.remember(p, first)
 	}
+}
+
+// LeaseDomains implements longlived.Recoverable: the shards' stamped
+// regions in name order, each offset by its shard's global name base. With
+// leases off every shard returns no domains and so does the frontend.
+func (a *Arena) LeaseDomains() []longlived.LeaseDomain {
+	var out []longlived.LeaseDomain
+	for s, sub := range a.shards {
+		rec, ok := sub.(longlived.Recoverable)
+		if !ok {
+			continue
+		}
+		for _, d := range rec.LeaseDomains() {
+			d.Base += a.base[s]
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Touch implements longlived.Arena.

@@ -172,6 +172,120 @@ func (s *NameSpace) FreeMask(p *Proc, w int, mask uint64) {
 	s.sat.Clear(w)
 }
 
+// Stamped claim variants: the crash-recoverable forms of the word ops.
+// Each wins bits exactly as its unstamped counterpart — the one-CAS fast
+// path on the bitmap word is untouched — and then publishes the winner's
+// lease stamp on every won name (one extra step per name, on the stamp
+// space; see lease.go for the protocol). A publish that loses to a racing
+// reclaim walks away from that bit without touching it: the bit now belongs
+// to the reclaim path or a successor, never to this claimant.
+
+// ClaimFirstFreeStamped claims the lowest free name of bitmap word w and
+// publishes stamp on it. Names whose publish is lost to a racing reclaim
+// are skipped (the loop claims the word's next free bit). It returns the
+// claimed-and-published name, or -1 if the word ran out of free bits.
+func (s *NameSpace) ClaimFirstFreeStamped(p *Proc, w int, stamp uint64) int {
+	for {
+		n := s.ClaimFirstFree(p, w)
+		if n < 0 {
+			return -1
+		}
+		if s.publish(p, n, stamp) {
+			return n
+		}
+	}
+}
+
+// ClaimUpToStamped claims the min(k, free) lowest free names of bitmap word
+// w and publishes stamp on each; bits whose publish is lost to a racing
+// reclaim are dropped from the returned mask (and left to the reclaim
+// path). It returns the mask of names actually granted.
+func (s *NameSpace) ClaimUpToStamped(p *Proc, w, k int, stamp uint64) uint64 {
+	return s.publishMask(p, w, s.ClaimUpTo(p, w, k), stamp)
+}
+
+// ClaimMaskStamped claims the free subset of mask within bitmap word w and
+// publishes stamp on each won name, dropping publish-lost bits exactly as
+// ClaimUpToStamped does.
+func (s *NameSpace) ClaimMaskStamped(p *Proc, w int, mask, stamp uint64) uint64 {
+	return s.publishMask(p, w, s.ClaimMask(p, w, mask), stamp)
+}
+
+// publishMask publishes stamp on every name of a won word mask, returning
+// the subset that was actually granted.
+func (s *NameSpace) publishMask(p *Proc, w int, won, stamp uint64) uint64 {
+	granted := won
+	for rest := won; rest != 0; rest &= rest - 1 {
+		b := bits.TrailingZeros64(rest)
+		if !s.publish(p, w<<6+b, stamp) {
+			granted &^= 1 << b
+		}
+	}
+	return granted
+}
+
+// FreeMaskStamped retires holder's leases on the masked names of bitmap
+// word w and frees exactly the bits whose lease was still the holder's: a
+// name reclaimed out from under the holder is NOT cleared (it may already
+// be re-granted). It returns the mask of bits actually freed. Cost: one
+// stamp-clear step per name plus one word-clear step.
+func (s *NameSpace) FreeMaskStamped(p *Proc, w int, mask uint64, holder uint64) uint64 {
+	kept := mask
+	for rest := mask; rest != 0; rest &= rest - 1 {
+		b := bits.TrailingZeros64(rest)
+		if !s.stamps.ClearOwned(p, s.stampBase+w<<6+b, holder) {
+			kept &^= 1 << b
+			continue
+		}
+		s.stamps.maybeCrash(p, CrashMidRelease, s.stampBase+w<<6+b)
+	}
+	if kept != 0 {
+		s.FreeMask(p, w, kept)
+	}
+	return kept
+}
+
+// publish installs stamp on local name n through the attached stamp array,
+// consulting the fault-injection hook in the bit-won/stamp-unpublished
+// window first (harness experiment E18's post-claim crash point).
+func (s *NameSpace) publish(p *Proc, n int, stamp uint64) bool {
+	s.stamps.maybeCrash(p, CrashPrePublish, s.stampBase+n)
+	return s.stamps.Publish(p, s.stampBase+n, stamp)
+}
+
+// TryClaimStamped is the per-bit stamped claim: a TryClaim of name i
+// followed by the lease publish. A publish lost to a racing reclaim
+// reports false exactly like a lost TAS — the bit is not the claimant's.
+func (s *NameSpace) TryClaimStamped(p *Proc, i int, stamp uint64) bool {
+	return s.TryClaim(p, i) && s.publish(p, i, stamp)
+}
+
+// FreeStamped retires holder's lease on name i and frees the bit only if
+// the lease was still the holder's, reporting whether it freed anything.
+func (s *NameSpace) FreeStamped(p *Proc, i int, holder uint64) bool {
+	if !s.stamps.ClearOwned(p, s.stampBase+i, holder) {
+		return false
+	}
+	s.stamps.maybeCrash(p, CrashMidRelease, s.stampBase+i)
+	s.Free(p, i)
+	return true
+}
+
+// ClaimFirstFreeRangeStamped claims-and-publishes the lowest free name in
+// [lo, hi), retrying past publish-lost bits, or returns -1 when the range
+// ran out of free words.
+func (s *NameSpace) ClaimFirstFreeRangeStamped(p *Proc, lo, hi int, stamp uint64) int {
+	for {
+		n := s.ClaimFirstFreeRange(p, lo, hi)
+		if n < 0 {
+			return -1
+		}
+		if s.publish(p, n, stamp) {
+			return n
+		}
+	}
+}
+
 // ClaimFirstFreeRange claims the lowest free name in [lo, hi) using word
 // snapshots: one step per word examined instead of one per name, so a range
 // of r names costs at most ⌈r/64⌉+1 steps. It returns the claimed name or

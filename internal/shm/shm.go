@@ -273,6 +273,12 @@ type NameSpace struct {
 	// a word-granular claim observed the word full, cleared by releases).
 	// It is a probe-redirection hint, never a correctness input; see claim.go.
 	sat *HintBits
+	// stamps, when attached, is the per-name lease-stamp array of the
+	// crash-recovery layer; stampBase offsets this space's local names into
+	// it (arenas share one stamp array across several spaces). See lease.go
+	// and the Stamped claim variants in claim.go.
+	stamps    *Stamps
+	stampBase int
 }
 
 var _ ClaimSpace = (*NameSpace)(nil)
@@ -308,6 +314,44 @@ func newNameSpace(label string, m, stride int) *NameSpace {
 		sat:    NewHintBits(nwords),
 	}
 }
+
+// NewNameSpaceBacked returns a packed name space of m names on externally
+// owned word storage (e.g. a region of an mmap'd file). The backing slice
+// is used in place, bits and all — opening an existing file preserves its
+// claims — so it must hold at least ⌈m/64⌉ words. Saturation hints are
+// process-local (rebuilt lazily by claims), never persisted.
+func NewNameSpaceBacked(label string, m int, words []atomic.Uint64) *NameSpace {
+	if m < 0 {
+		panic("shm: negative name space size")
+	}
+	nwords := (m + 63) / 64
+	if len(words) < nwords {
+		panic(fmt.Sprintf("shm: backing of %d words cannot hold %d names", len(words), m))
+	}
+	return &NameSpace{
+		label:  label,
+		id:     InternSpace(label),
+		size:   m,
+		stride: 1,
+		words:  words[:nwords],
+		sat:    NewHintBits(nwords),
+	}
+}
+
+// AttachStamps wires the crash-recovery lease-stamp array to this space:
+// the space's local name i stamps at st[base+i]. Required before any
+// Stamped claim variant; a nil st detaches.
+func (s *NameSpace) AttachStamps(st *Stamps, base int) {
+	if st != nil && base+s.size > st.Size() {
+		panic(fmt.Sprintf("shm: stamp array of %d cannot cover names [%d, %d)", st.Size(), base, base+s.size))
+	}
+	s.stamps = st
+	s.stampBase = base
+}
+
+// Stamps returns the attached lease-stamp array and this space's base
+// offset into it (nil when the space is unstamped).
+func (s *NameSpace) Stamps() (*Stamps, int) { return s.stamps, s.stampBase }
 
 // Label returns the space's label.
 func (s *NameSpace) Label() string { return s.label }

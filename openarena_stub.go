@@ -1,0 +1,12 @@
+//go:build !unix
+
+package shmrename
+
+import "errors"
+
+// OpenArena requires MAP_SHARED file mappings and kill(pid, 0) liveness
+// probes; on non-unix platforms it always fails. In-process arenas
+// (NewArena) are unaffected.
+func OpenArena(path string, cfg ArenaConfig) (*Arena, error) {
+	return nil, errors.New("shmrename: OpenArena requires a unix platform")
+}
