@@ -114,7 +114,11 @@ type LeaseConfig struct {
 	Reaper time.Duration
 	// Alive, when non-nil, is a liveness oracle consulted before reclaiming
 	// a TTL-stale holder: reporting true spares the holder's names. The
-	// mmap-backed arena defaults to probing the holder's process with
+	// holder value is the handle's process ID — identically for NewArena
+	// and OpenArena — so kill(pid, 0)-style oracles work unchanged across
+	// arena kinds. (Only on exotic platforms whose PIDs overflow the 24-bit
+	// stamp holder field is the PID folded into range; see shm.MaxHolder.)
+	// The mmap-backed arena defaults to probing the holder's process with
 	// kill(pid, 0); in-process arenas default to nil (heartbeats alone).
 	Alive func(holder uint64) bool
 }
@@ -272,7 +276,15 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		if err := cfg.Lease.validate(); err != nil {
 			return nil, err
 		}
-		holder = uint64(os.Getpid())%shm.MaxHolder + 1
+		// The raw PID, so a LeaseConfig.Alive oracle written as kill(pid, 0)
+		// probes the right process for in-process and mmap-backed arenas
+		// alike. PIDs fit the 24-bit stamp holder field on every mainstream
+		// kernel (Linux caps pid_max at 2^22); an out-of-range PID is folded
+		// in-range as a last resort — Alive oracles cannot rely on it there.
+		holder = uint64(os.Getpid())
+		if holder < 1 || holder > shm.MaxHolder {
+			holder = holder%shm.MaxHolder + 1
+		}
 		lease = &longlived.LeaseOpts{
 			Epochs: shm.WallEpochs{},
 			Holder: func(*shm.Proc) uint64 { return holder },

@@ -2,6 +2,7 @@ package shmrename
 
 import (
 	"errors"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -140,6 +141,37 @@ func TestArenaLeaseReaper(t *testing.T) {
 
 // TestArenaUnleased: with ArenaConfig.Lease nil the recovery surface is
 // inert — no-op methods, zero counters, trivial Close.
+// TestArenaAliveOracleGetsPID pins the holder identity handed to a
+// user-supplied LeaseConfig.Alive oracle: the raw process ID, identically
+// for in-process arenas and the mmap-backed kind, so a kill(pid, 0)-style
+// oracle probes the right process either way.
+func TestArenaAliveOracleGetsPID(t *testing.T) {
+	var seen []uint64
+	a := leaseArena(t, ArenaLevel, 8, LeaseConfig{
+		TTL: 5 * time.Millisecond,
+		Alive: func(holder uint64) bool {
+			seen = append(seen, holder)
+			return true // spare: this test is about the identity, not reclaim
+		},
+	})
+	if _, err := a.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(seen) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never went stale enough to consult the oracle")
+		}
+		time.Sleep(10 * time.Millisecond)
+		a.SweepStale()
+	}
+	for _, h := range seen {
+		if h != uint64(os.Getpid()) {
+			t.Fatalf("oracle consulted with holder %d, want pid %d", h, os.Getpid())
+		}
+	}
+}
+
 func TestArenaUnleased(t *testing.T) {
 	a, err := NewArena(ArenaConfig{Capacity: 8})
 	if err != nil {

@@ -83,7 +83,13 @@ func TestPerfSmoke(t *testing.T) {
 		t.Skip("perf smoke needs a full E2 run")
 	}
 	const n = 1 << 14
-	const ceiling = 6 * time.Second
+	// The ceiling gates the uninstrumented hot path; race instrumentation
+	// slows the simulator several-fold without telling us anything about a
+	// regression, so the race-job budget is proportionally wider.
+	ceiling := 6 * time.Second
+	if raceDetector {
+		ceiling *= 4
+	}
 	start := time.Now()
 	inst := core.NewTight(n, core.TightConfig{SelfClocked: true})
 	res := sched.Run(sched.Config{N: n, Seed: 1, Fast: sched.FastFIFO, Body: inst.Body})

@@ -232,7 +232,7 @@ func (a *TauArena) claimName(p *shm.Proc, d, bit, start int, stamp uint64) int {
 				g = a.names.ClaimFirstFreeRange(p, base, base+tau)
 			}
 			if g >= 0 {
-				a.bitOf[g].Store(int32(bit) + 1)
+				a.recordBit(p, g, bit)
 				return g
 			}
 		}
@@ -247,10 +247,21 @@ func (a *TauArena) claimName(p *shm.Proc, d, bit, start int, stamp uint64) int {
 				won = a.names.TryClaim(p, g)
 			}
 			if won {
-				a.bitOf[g].Store(int32(bit) + 1)
+				a.recordBit(p, g, bit)
 				return g
 			}
 		}
+	}
+}
+
+// recordBit installs the device-bit record of a freshly won name. The
+// install is a swap, not a store: a release that raced a recovery reclaim
+// can leave a stale record behind (see Release), and its device bit is
+// unreleased — whoever removes a record owns its release, so the new
+// grant returns the residue before recording its own bit.
+func (a *TauArena) recordBit(p *shm.Proc, name, bit int) {
+	if old := a.bitOf[name].Swap(int32(bit)+1) - 1; old >= 0 {
+		a.devices[name/a.cfg.Tau].ReleaseBit(p, int(old))
 	}
 }
 
@@ -277,26 +288,41 @@ func (a *TauArena) Release(p *shm.Proc, name int) {
 	}
 	b := a.bitOf[name].Swap(0) - 1
 	if b < 0 {
-		// No recorded device bit: the name is free, or another caller's
-		// concurrent release of the same name already claimed the
-		// bookkeeping (a caller protocol violation either way). Releasing
-		// nothing keeps the arena consistent — the true holder's release
-		// still returns both the name and its bit — and the churn monitor
-		// and Held() drain checks surface the violation in tests.
+		// No recorded device bit: the name is free, a recovery sweep's
+		// reclaim already claimed the bookkeeping, or another caller's
+		// concurrent release of the same name did (a caller protocol
+		// violation). Releasing nothing keeps the arena consistent — the
+		// record's owner returns the bit — and the churn monitor and
+		// Held() drain checks surface violations in tests.
 		return
 	}
-	if a.stamps != nil {
-		// The device bit is guarded solely by the bitOf swap we just won;
-		// the name bit and stamp are guarded by the stamp CAS inside
-		// FreeStamped. If the recovery sweep already reclaimed the lease,
-		// FreeStamped declines and the sweep clears the name bit itself
-		// (its own bitOf swap lost, so it skips ReleaseBit — no double
-		// release either way).
-		a.names.FreeStamped(p, name, a.cfg.Lease.holder(p))
-	} else {
+	dev := a.devices[name/a.cfg.Tau]
+	if a.stamps == nil {
 		a.names.Free(p, name)
+		dev.ReleaseBit(p, int(b))
+		return
 	}
-	a.devices[name/a.cfg.Tau].ReleaseBit(p, int(b))
+	// Whoever removes a bitOf record owns releasing the recorded device
+	// bit; the stamp CAS inside FreeStamped decides whether the record we
+	// just swapped was this grant's own. Success proves no reclaim
+	// intervened since the grant (a reclaim would have moved the stamp off
+	// our holder for good), so b is ours and is released exactly once
+	// here.
+	if a.names.FreeStamped(p, name, a.cfg.Lease.holder(p)) {
+		dev.ReleaseBit(p, int(b))
+		return
+	}
+	// Declined: a reclaim is in flight or completed — possibly with the
+	// name already re-granted, in which case b is the NEW holder's record
+	// we stole, and releasing it would let the device admit more than τ
+	// holders. Hand the record back so its release obligation travels
+	// with it (the sweep's reclaim swap, the regrant's own release, or
+	// the next grant's recordBit install discharges it). If the slot was
+	// re-recorded meanwhile, the swapped b is an unrecorded, unreleased
+	// bit of this device — ours to return.
+	if !a.bitOf[name].CompareAndSwap(0, int32(b)+1) {
+		dev.ReleaseBit(p, int(b))
+	}
 }
 
 // ReleaseN implements Arena: per-name releases. Each name must return its

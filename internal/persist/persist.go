@@ -23,9 +23,14 @@
 //
 // The superblock is validated on every open: a magic or version mismatch,
 // or a geometry that disagrees with the file's size, is an error — never a
-// silent reinterpretation of someone else's bits. Creation writes the
-// geometry first and the magic word last, so a concurrent opener either
-// sees a fully described file or refuses it.
+// silent reinterpretation of someone else's bits. Open serializes
+// create-or-validate under an exclusive flock (dropped before returning),
+// so two processes racing to create the file cannot both lay out a
+// superblock — the loser attaches to the winner's geometry or errors out.
+// Creation still writes the geometry first and the magic word last, so a
+// file left behind by a creator that crashed mid-layout has no magic and
+// every later open rejects it with an error (no automatic retry or
+// repair — delete the file to recreate it).
 //
 // # Identity and liveness
 //
@@ -116,6 +121,16 @@ func Open(path string, opt Options) (*Arena, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: open %s: %w", path, err)
 	}
+	// Create-or-validate runs under an exclusive flock: two openers that
+	// both observed an empty file would both lay out a superblock, and with
+	// disagreeing Options.Names the second Truncate would shrink the file
+	// under the first opener's mapping (SIGBUS on a later access). The lock
+	// is released before returning (error paths drop it via f.Close), so it
+	// never outlives Open.
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: lock %s: %w", path, err)
+	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -172,12 +187,19 @@ func Open(path string, opt Options) (*Arena, error) {
 	words := wordsOf(data)
 	hdr := words[:hdrWords]
 	if fresh {
-		// Geometry before magic: a concurrent opener that races creation
-		// either sees the magic (and a complete superblock) or rejects the
-		// file and retries.
+		// Geometry before magic: if the creator crashes mid-layout the file
+		// has no magic, and every later open (serialized behind the flock)
+		// rejects it with an error rather than mapping half-written state.
 		hdr[hVersion].Store(fileVersion)
 		hdr[hNames].Store(uint64(m))
 		hdr[hMagic].Store(fileMagic)
+	}
+	// Layout settled; later openers only validate. Everything past this
+	// point is the ordinary lock-free shared-word protocol.
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN); err != nil {
+		syscall.Munmap(data)
+		f.Close()
+		return nil, fmt.Errorf("persist: unlock %s: %w", path, err)
 	}
 	bw := (m + 63) / 64
 	a := &Arena{

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -101,6 +102,59 @@ func TestPersistOpenValidation(t *testing.T) {
 	}
 	if _, err := Open(good, Options{Holder: 100}); err == nil {
 		t.Fatal("truncated file must fail")
+	}
+}
+
+// TestPersistCreationRace: two openers racing to create the same file with
+// disagreeing geometries must serialize behind the creation flock — exactly
+// one lays out the superblock, the loser gets a geometry-mismatch error,
+// and the file ends up sized for the winner (never shrunk under a live
+// mapping).
+func TestPersistCreationRace(t *testing.T) {
+	sizes := []int{64, 128}
+	for trial := 0; trial < 8; trial++ {
+		path := filepath.Join(t.TempDir(), "ns")
+		arenas := make([]*Arena, len(sizes))
+		errs := make([]error, len(sizes))
+		var wg sync.WaitGroup
+		for i := range sizes {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				arenas[i], errs[i] = Open(path, Options{Names: sizes[i], Holder: uint64(100 + i)})
+			}()
+		}
+		wg.Wait()
+		won := -1
+		for i := range sizes {
+			if errs[i] != nil {
+				continue
+			}
+			if won >= 0 {
+				t.Fatalf("trial %d: both geometries accepted (%d and %d names)", trial, sizes[won], sizes[i])
+			}
+			won = i
+		}
+		if won < 0 {
+			t.Fatalf("trial %d: both opens failed: %v / %v", trial, errs[0], errs[1])
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != fileSize(sizes[won]) {
+			t.Fatalf("trial %d: file is %d bytes, winner geometry needs %d", trial, st.Size(), fileSize(sizes[won]))
+		}
+		// The winner's mapping must be fully usable — under the old race a
+		// losing creator could have shrunk the file beneath it.
+		a := arenas[won]
+		p := testProc(won)
+		if n := a.Acquire(p); n < 0 {
+			t.Fatalf("trial %d: winner cannot acquire", trial)
+		} else {
+			a.Release(p, n)
+		}
+		a.Close()
 	}
 }
 

@@ -43,7 +43,10 @@
 //     in-flight publisher: its publish CAS succeeds over the orphan mark
 //     and the holder keeps the name.
 //   - stale suspect mark: a reaper crashed mid-reclaim. The sweep resumes
-//     it — re-clears the name and retires the mark.
+//     it two-phase like any reclaim — CAS the stale mark to a fresh
+//     suspect epoch, and only the winner re-clears the name and retires
+//     the mark (concurrent sweepers must not all act on the same
+//     observation).
 //   - stale tombstone under a set claim bit: a claimer won the bit while a
 //     reclaim was in flight, saw the suspect mark, and walked away (the
 //     claim engine's rule: never free a bit you cannot stamp). The sweep
@@ -170,14 +173,14 @@ func (s *Sweeper) sweepOne(p *shm.Proc, d longlived.LeaseDomain, i int, now uint
 			res.Adopted++
 		}
 	case h == shm.HolderSuspect:
-		// A reaper crashed between BeginReclaim and FinishReclaim. Once the
-		// mark is stale no live reaper can still be mid-reclaim (a sweep
-		// pass finishes well within a TTL); re-clearing is idempotent.
-		if shm.StampStale(now, e, s.cfg.TTL) {
-			d.Reclaim(p, i)
-			if d.Stamps.FinishReclaim(i, e, now) {
-				res.Resumed++
-			}
+		// A reaper crashed between BeginReclaim and FinishReclaim. Resuming
+		// goes through the same two-phase reclaim: CAS the stale mark to a
+		// fresh suspect epoch first, and only the winner re-clears the name.
+		// Acting without the CAS would let a sweeper delayed between this
+		// load and the act free a name that another sweeper meanwhile
+		// resumed, tombstoned, and a claimant re-claimed.
+		if shm.StampStale(now, e, s.cfg.TTL) && s.reclaim(p, d, i, obs, now) {
+			res.Resumed++
 		}
 	case h == shm.HolderTomb:
 		if !shm.StampStale(now, e, s.cfg.TTL) {

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"math/bits"
 	"testing"
 	"time"
 
@@ -248,6 +249,113 @@ func TestSweepResumesCrashedReaper(t *testing.T) {
 	}
 	if h, _ := shm.UnpackStamp(d.Stamps.Load(n)); h != shm.HolderTomb {
 		t.Fatalf("suspect not retired: holder %d", h)
+	}
+}
+
+// tauHeldBits counts the set request bits across every counting device —
+// the τ backend's admission budget currently spent.
+func tauHeldBits(a *longlived.TauArena, p *shm.Proc) int {
+	c := 0
+	for d := 0; d < a.NumDevices(); d++ {
+		c += bits.OnesCount64(a.Device(d).ReadRequests(p))
+	}
+	return c
+}
+
+// TestTauStaleReleaseSparesRegrantedBit pins the τ backend's release/reclaim
+// race: holder A's name is reclaimed (lease expired) and re-granted to B,
+// and only then does A's long-delayed Release run. The stale release must
+// not free B's counting-device bit — that would let the device admit more
+// than τ holders, breaking claimName's termination argument — and B's own
+// releases must still drain every bit (nothing double-released, nothing
+// leaked).
+func TestTauStaleReleaseSparesRegrantedBit(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	// Capacity 1: one device (width 8, τ 4) fronting names 0..3, so B's
+	// re-acquisition of the block necessarily re-grants A's old name.
+	a := longlived.NewTau(1, longlived.TauConfig{Lease: &longlived.LeaseOpts{Epochs: ep}, MaxPasses: 4, SelfClocked: true})
+	pA := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+	nA := a.Acquire(pA)
+	if nA < 0 {
+		t.Fatal("acquire")
+	}
+	// A goes silent past the TTL; the sweep reclaims its name and bit.
+	ep.Advance(10)
+	sw := NewSweeper(a, Config{TTL: 5, Epochs: ep})
+	reaper := shm.NewProc(200, prng.NewStream(1, 200), nil, 0)
+	if res := sw.Sweep(reaper); res.Reclaimed != 1 {
+		t.Fatalf("sweep %+v, want A's name reclaimed", res)
+	}
+	// B fills the whole block — τ names backed by τ device bits.
+	pB := shm.NewProc(2, prng.NewStream(1, 2), nil, 0)
+	names := acquireAll(t, a, pB, a.Tau())
+	if !a.IsHeld(nA) {
+		t.Fatalf("name %d not re-granted with the full block held", nA)
+	}
+	// The stale holder finally runs its release.
+	a.Release(pA, nA)
+	if !a.IsHeld(nA) {
+		t.Fatal("stale release freed the re-granted name")
+	}
+	if got := tauHeldBits(a, reaper); got != a.Tau() {
+		t.Fatalf("device bits %d after stale release, want %d (a freed bit admits >τ holders)", got, a.Tau())
+	}
+	// B's releases drain everything: each bit returned exactly once.
+	for _, n := range names {
+		a.Release(pB, n)
+	}
+	if h := a.Held(); h != 0 {
+		t.Fatalf("%d names held after drain", h)
+	}
+	if got := tauHeldBits(a, reaper); got != 0 {
+		t.Fatalf("%d device bits leaked after drain", got)
+	}
+}
+
+// TestDelayedSweeperCannotResumeReclaimedSuspect pins the suspect-resume
+// exclusivity: a sweeper that observed a stale suspect mark and then
+// stalled — while another sweeper resumed the reclaim and a claimant
+// re-acquired the name — must lose the resume CAS and touch nothing. (The
+// sweep routes suspect resumption through the same two-phase reclaim as
+// every other case, so acting always requires winning the CAS on the
+// observed stamp.)
+func TestDelayedSweeperCannotResumeReclaimedSuspect(t *testing.T) {
+	ep := shm.NewCounterEpochs(1)
+	a := longlived.NewTau(1, longlived.TauConfig{Lease: &longlived.LeaseOpts{Epochs: ep}, MaxPasses: 4, SelfClocked: true})
+	d := a.LeaseDomains()[0]
+	pA := shm.NewProc(1, prng.NewStream(1, 1), nil, 0)
+	nA := a.Acquire(pA)
+	// A reaper marked the stamp suspect and crashed before clearing.
+	if !d.Stamps.BeginReclaim(nA, d.Stamps.Load(nA), ep.Now()) {
+		t.Fatal("plant suspect")
+	}
+	ep.Advance(10)
+	// The delayed sweeper loads the stale mark... and stalls.
+	obs := d.Stamps.Load(nA)
+	stale := ep.Now()
+	// Meanwhile a second sweeper resumes the reclaim and B re-acquires the
+	// whole block, A's old name included.
+	sw := NewSweeper(a, Config{TTL: 5, Epochs: ep})
+	if res := sw.Sweep(shm.NewProc(200, prng.NewStream(1, 200), nil, 0)); res.Resumed != 1 {
+		t.Fatalf("resume sweep %+v, want one resumed reclaim", res)
+	}
+	pB := shm.NewProc(2, prng.NewStream(1, 2), nil, 0)
+	acquireAll(t, a, pB, a.Tau())
+	after := d.Stamps.Load(nA)
+	reaper := shm.NewProc(201, prng.NewStream(1, 201), nil, 0)
+	bitsHeld := tauHeldBits(a, reaper)
+	// The delayed sweeper wakes and acts on its stale observation.
+	if sw.reclaim(reaper, d, nA, obs, stale) {
+		t.Fatal("delayed sweeper reclaimed a re-granted name")
+	}
+	if !a.IsHeld(nA) {
+		t.Fatal("live holder lost its claim bit to a delayed sweeper")
+	}
+	if got := d.Stamps.Load(nA); got != after {
+		t.Fatalf("stamp moved %#x -> %#x under a lost resume", after, got)
+	}
+	if got := tauHeldBits(a, reaper); got != bitsHeld {
+		t.Fatalf("device bits %d -> %d under a lost resume", bitsHeld, got)
 	}
 }
 

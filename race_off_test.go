@@ -1,0 +1,7 @@
+//go:build !race
+
+package shmrename
+
+// raceDetector reports whether the race detector is instrumenting this
+// build; perf-ceiling tests scale their wall-clock budgets by it.
+const raceDetector = false
