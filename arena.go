@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shmrename/internal/leasecache"
 	"shmrename/internal/longlived"
 	"shmrename/internal/prng"
 	"shmrename/internal/recovery"
@@ -87,6 +88,20 @@ type ArenaConfig struct {
 	// Probe selects the slot-search granularity: ProbeWord (the default)
 	// or ProbeBit. See the ProbeMode constants.
 	Probe ProbeMode
+	// LeaseBlocks enables per-worker word-block lease caches: workers
+	// lease blocks of LeaseBlocks names (at most 64 — one bitmap word,
+	// claimed in a single word-granular batch step) and then serve Acquire
+	// and absorb Release thread-locally, with zero shared-memory
+	// operations on the fast path. Released names recirculate through the
+	// releasing worker's cache, so steady-state churn stops touching the
+	// backend entirely — the regime BENCH_5.json records. The trade-off is
+	// name tightness: cached names are claimed but serve nobody, so
+	// provision Capacity above the expected peak holders (see PERF.md).
+	// Caching composes with Lease — a cached block is one lease, renewed
+	// by Heartbeat and reclaimed wholesale if this handle crashes. 0 (the
+	// default) disables caching; enabling it requires the word-granular
+	// claim engine (ProbeBit is a config error).
+	LeaseBlocks int
 	// Seed drives client-side randomness (probe targets).
 	Seed uint64
 	// Lease enables crash recovery: every claim carries a holder/epoch
@@ -177,6 +192,9 @@ type Arena struct {
 	seed   uint64
 	nextID atomic.Int64
 	procs  sync.Pool
+	// cache is the word-block lease cache layer when
+	// ArenaConfig.LeaseBlocks is set (impl aliases it then); nil otherwise.
+	cache *leasecache.Cache
 	// Crash-recovery state; all nil/zero when ArenaConfig.Lease is nil.
 	rec        longlived.Recoverable
 	holder     uint64
@@ -185,11 +203,38 @@ type Arena struct {
 	stopReaper func()
 	closer     func() error // extra teardown (mmap-backed arenas)
 	closed     atomic.Bool
-	// Cumulative operation statistics; see Stats.
-	acquires     atomic.Int64
-	acquireSteps atomic.Int64
-	releases     atomic.Int64
+	// Cumulative operation statistics; see Stats. Acquire/release counts
+	// are striped so the counter update cannot become the shared-memory
+	// operation the lease-cache fast path just eliminated.
+	acquires     striped
+	acquireSteps striped
+	releases     striped
 	heartbeats   atomic.Int64
+}
+
+// statStripes is the stripe count of the operation counters (power of 2).
+const statStripes = 8
+
+// striped is a cache-line-padded striped counter: writers pick a lane by
+// their proc ID, so concurrent hot-path increments land on disjoint cache
+// lines instead of serializing on one shared word; readers sum the lanes.
+type striped struct {
+	lanes [statStripes]struct {
+		v atomic.Int64
+		_ [56]byte
+	}
+}
+
+// add bumps the lane's counter.
+func (s *striped) add(lane int, d int64) { s.lanes[lane&(statStripes-1)].v.Add(d) }
+
+// total sums the lanes (a racy snapshot, like any concurrent counter read).
+func (s *striped) total() int64 {
+	var t int64
+	for i := range s.lanes {
+		t += s.lanes[i].v.Load()
+	}
+	return t
 }
 
 // ArenaStats is a snapshot of an arena's cumulative operation counters.
@@ -216,15 +261,30 @@ type ArenaStats struct {
 	// leases of crashed holders, adopted orphan bits, and resumed
 	// half-done reclaims. Always 0 with leases off.
 	Reclaimed int64
+	// CacheRefills counts word-block leases the cache layer took from the
+	// backend — each one word-granular batch claim that funds up to
+	// LeaseBlocks local acquires. Always 0 with LeaseBlocks off.
+	CacheRefills int64
+	// CacheSpills counts whole blocks the cache returned to the backend
+	// under release-side pressure (a worker cache at its cap). Always 0
+	// with LeaseBlocks off.
+	CacheSpills int64
+	// CacheSteals counts names acquired from another worker's cache when
+	// the backend had none free — the imbalance valve. Always 0 with
+	// LeaseBlocks off.
+	CacheSteals int64
 }
 
 // Stats returns a snapshot of the arena's cumulative operation counters.
 func (a *Arena) Stats() ArenaStats {
 	st := ArenaStats{
-		Acquires:     a.acquires.Load(),
-		AcquireSteps: a.acquireSteps.Load(),
-		Releases:     a.releases.Load(),
+		Acquires:     a.acquires.total(),
+		AcquireSteps: a.acquireSteps.total(),
+		Releases:     a.releases.total(),
 		Heartbeats:   a.heartbeats.Load(),
+	}
+	if a.cache != nil {
+		st.CacheRefills, st.CacheSpills, st.CacheSteals = a.cache.Stats()
 	}
 	if a.sweeper != nil {
 		c := a.sweeper.Counters()
@@ -255,6 +315,12 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 	default:
 		return nil, fmt.Errorf("shmrename: unknown ArenaConfig.Probe mode %q (want %q or %q)",
 			cfg.Probe, ProbeWord, ProbeBit)
+	}
+	if cfg.LeaseBlocks < 0 || cfg.LeaseBlocks > 64 {
+		return nil, fmt.Errorf("shmrename: ArenaConfig.LeaseBlocks must lie in [0, 64], got %d", cfg.LeaseBlocks)
+	}
+	if cfg.LeaseBlocks > 0 && !wordScan {
+		return nil, fmt.Errorf("shmrename: ArenaConfig.LeaseBlocks leases whole bitmap words and requires the word-granular claim engine; it cannot combine with Probe %q", ProbeBit)
 	}
 	if cfg.Backend != ArenaBackendSharded {
 		if cfg.Shards != 0 {
@@ -335,7 +401,12 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 	default:
 		return nil, fmt.Errorf("shmrename: unknown arena backend %q", cfg.Backend)
 	}
-	a := &Arena{impl: impl, seed: cfg.Seed}
+	var cache *leasecache.Cache
+	if cfg.LeaseBlocks > 0 {
+		cache = leasecache.New(impl, leasecache.Config{Block: cfg.LeaseBlocks})
+		impl = cache
+	}
+	a := &Arena{impl: impl, cache: cache, seed: cfg.Seed}
 	if cfg.Lease != nil {
 		rec, ok := impl.(longlived.Recoverable)
 		if !ok {
@@ -396,6 +467,7 @@ func (a *Arena) Backend() string { return a.impl.Label() }
 // sentinel for name 0, which a healthy arena hands out constantly.
 func (a *Arena) Acquire() (int, error) {
 	p := a.proc()
+	lane := p.ID()
 	before := p.Steps()
 	name := a.impl.Acquire(p)
 	steps := p.Steps() - before
@@ -403,8 +475,8 @@ func (a *Arena) Acquire() (int, error) {
 	if name < 0 {
 		return -1, fmt.Errorf("%w: capacity %d", ErrArenaFull, a.impl.Capacity())
 	}
-	a.acquires.Add(1)
-	a.acquireSteps.Add(steps)
+	a.acquires.add(lane, 1)
+	a.acquireSteps.add(lane, steps)
 	return name, nil
 }
 
@@ -422,6 +494,7 @@ func (a *Arena) AcquireN(k int) ([]int, error) {
 			k, a.impl.Capacity())
 	}
 	p := a.proc()
+	lane := p.ID()
 	before := p.Steps()
 	names := a.impl.AcquireN(p, k, make([]int, 0, k))
 	steps := p.Steps() - before
@@ -431,8 +504,8 @@ func (a *Arena) AcquireN(k int) ([]int, error) {
 		return nil, fmt.Errorf("%w: capacity %d, batch of %d unserved", ErrArenaFull, a.impl.Capacity(), k)
 	}
 	a.procs.Put(p)
-	a.acquires.Add(int64(k))
-	a.acquireSteps.Add(steps)
+	a.acquires.add(lane, int64(k))
+	a.acquireSteps.add(lane, steps)
 	return names, nil
 }
 
@@ -446,9 +519,10 @@ func (a *Arena) Release(name int) error {
 		return err
 	}
 	p := a.proc()
+	lane := p.ID()
 	a.impl.Release(p, name)
 	a.procs.Put(p)
-	a.releases.Add(1)
+	a.releases.add(lane, 1)
 	return nil
 }
 
@@ -505,9 +579,10 @@ func (a *Arena) ReleaseAll(names []int) error {
 	}
 	if len(valid) > 0 {
 		p := a.proc()
+		lane := p.ID()
 		a.impl.ReleaseN(p, valid)
 		a.procs.Put(p)
-		a.releases.Add(int64(len(valid)))
+		a.releases.add(lane, int64(len(valid)))
 	}
 	return errors.Join(errs...)
 }
@@ -550,8 +625,9 @@ func (a *Arena) SweepStale() int {
 	return res.Reclaimed + res.Resumed
 }
 
-// Close releases the arena's background resources: it stops the lease
-// reaper (waiting out an in-flight sweep) and, for mmap-backed arenas,
+// Close releases the arena's background resources: it flushes any
+// word-block lease caches (parked names return to the pool), stops the
+// lease reaper (waiting out an in-flight sweep) and, for mmap-backed arenas,
 // detaches from the namespace file — held names stay claimed in the file
 // and are recovered by surviving processes' sweeps once their leases
 // lapse. Close is idempotent; an arena without background resources
@@ -559,6 +635,13 @@ func (a *Arena) SweepStale() int {
 func (a *Arena) Close() error {
 	if !a.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if a.cache != nil {
+		// Return every parked name to the backend so nothing dangles as a
+		// claimed-but-unheld lease after an orderly shutdown.
+		p := a.proc()
+		a.cache.Flush(p)
+		a.procs.Put(p)
 	}
 	if a.stopReaper != nil {
 		a.stopReaper()

@@ -1,5 +1,5 @@
 // Command renamebench regenerates the paper-reproduction experiments
-// E1-E18 (see ALGORITHMS.md §6) and prints their report
+// E1-E19 (see ALGORITHMS.md §6) and prints their report
 // tables.
 //
 // Usage:
@@ -42,6 +42,10 @@ func main() {
 		bench3A = flag.String("bench3-against", "", "baseline BENCH_3.json to compare -bench3 results against; exits nonzero on steps/acquire regression")
 		bench4  = flag.String("bench4", "", "write the BENCH_4.json word-engine trajectory to this path and exit")
 		bench4G = flag.Int("bench4-maxg", 64, "largest goroutine count for the -bench4 native sweep (x4 from 4)")
+		bench5  = flag.String("bench5", "", "write the BENCH_5.json open-loop latency trajectory to this path and exit")
+		bench5R = flag.Float64("bench5-rate", 200e3, "offered arrival rate (per second) for the -bench5 fixed-rate cells")
+		bench5N = flag.Int("bench5-arrivals", 20000, "scheduled arrivals per -bench5 cell")
+		bench5A = flag.String("bench5-against", "", "baseline BENCH_5.json to compare -bench5 results against; exits nonzero on p99 regression")
 		recov   = flag.Bool("recovery-smoke", false, "run the native crash-recovery smoke (abandoned-lease reclaim on every backend + mmap reattach) and exit")
 	)
 	flag.Parse()
@@ -88,6 +92,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("bench4 word-engine trajectory written to %s\n", *bench4)
+		return
+	}
+
+	if *bench5 != "" {
+		if err := runBench5(*bench5, *seed, *bench5R, *bench5N, *bench5A); err != nil {
+			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench5 open-loop latency trajectory written to %s\n", *bench5)
 		return
 	}
 

@@ -1,4 +1,4 @@
-// Package harness defines the experiment suite E1-E18: one reproducible
+// Package harness defines the experiment suite E1-E19: one reproducible
 // experiment per quantitative claim of the paper plus the repository's
 // extensions (long-lived churn, the sharded multicore frontend, crash
 // recovery); see
@@ -60,6 +60,7 @@ func All() []Experiment {
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
 		expE13(), expE14(), expE15(), expE16(), expE17(), expE18(),
+		expE19(),
 	}
 }
 

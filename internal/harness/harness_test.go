@@ -11,7 +11,7 @@ import (
 func tiny() Config { return Config{Trials: 2, Seed: 11} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -402,6 +402,49 @@ func TestE18FaultInjectionInvariants(t *testing.T) {
 		}
 		if row[0] == "tau-longlived" && leaked != prepub+midrel {
 			t.Fatalf("E18 tau leak %d, want one bit per crash window %d: %v", leaked, prepub+midrel, row)
+		}
+	}
+}
+
+func TestE19OpenLoopInvariants(t *testing.T) {
+	tabs := checkTables(t, "E19")
+	if len(tabs) != 2 {
+		t.Fatalf("E19 tables = %d", len(tabs))
+	}
+	for _, row := range tabs[0].Rows {
+		// Accounting: every scheduled arrival is either served or dropped.
+		offered, _ := strconv.Atoi(row[3])
+		served, _ := strconv.Atoi(row[4])
+		dropped, _ := strconv.Atoi(row[5])
+		if served+dropped != offered {
+			t.Fatalf("E19 served %d + dropped %d != offered %d: %v", served, dropped, offered, row)
+		}
+		// A provisioned arena never drops: capacity far exceeds in-flight.
+		if dropped != 0 {
+			t.Fatalf("E19 provisioned arena dropped arrivals: %v", row)
+		}
+		// Quantiles are ordered: p50 <= p99 <= p999.
+		p50, err1 := strconv.ParseFloat(row[7], 64)
+		p99, err2 := strconv.ParseFloat(row[8], 64)
+		p999, err3 := strconv.ParseFloat(row[9], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("bad quantile cells: %v", row)
+		}
+		if p50 > p99 || p99 > p999 {
+			t.Fatalf("E19 quantiles out of order: %v", row)
+		}
+	}
+	// Knee table: one row per backend, knee rate within the swept range.
+	if len(tabs[1].Rows) != 2 {
+		t.Fatalf("E19 knee rows = %d", len(tabs[1].Rows))
+	}
+	for _, row := range tabs[1].Rows {
+		knee, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad knee cell %q: %v", row[2], err)
+		}
+		if knee <= 0 {
+			t.Fatalf("E19 no saturation knee found: %v", row)
 		}
 	}
 }

@@ -1,0 +1,477 @@
+// Package leasecache puts per-worker word-block lease caches in front of a
+// long-lived renaming arena: workers lease blocks of up to 64 names in one
+// word-granular batch claim (shm.ClaimMask via the backend's AcquireN) and
+// then serve Acquire and absorb Release thread-locally, with zero
+// step-counted shared-memory operations on the fast path.
+//
+// # Why a cache layer
+//
+// The LevelArray paper (Alistarh et al., arXiv:1405.5461) argues long-lived
+// renaming is practical because the common-case acquire can be made nearly
+// free. The word claim engine (internal/shm, PR 4) gets one shared-memory
+// access per 64 names; this layer takes the argument to its limit: after a
+// block lease, the next Block-1 acquires touch no shared memory at all —
+// they pop a local stack guarded by an uncontended mutex. Steady-state
+// churn is even better: a release pushes the name back onto the releasing
+// worker's stack, so acquire/release cycles circulate names locally and
+// refills stop entirely.
+//
+// # Conservation
+//
+// Every name is always in exactly one of three states — free in the inner
+// arena, cached (claimed in the inner arena, parked on exactly one slot's
+// stack, cached-bit set), or granted to a client (claimed, no cached bit).
+// State transitions happen under the owning slot's mutex, and the
+// cached-bit array is the cross-check: caching a name whose bit is already
+// set, or uncaching one whose bit is clear, panics rather than silently
+// losing or duplicating a name.
+//
+// # Tightness and pressure
+//
+// Caching trades name tightness for latency, the same trade framed by
+// "Space Bounds for Adaptive Renaming" (arXiv:1603.04067) for the sharded
+// frontend: cached names are claimed but serve nobody, so the arena must
+// be provisioned with slack (capacity ≳ peak holders + Slots×MaxCached for
+// pressure-free operation). When provisioning is tight the layer degrades
+// instead of starving: an acquirer that finds the inner arena full first
+// steals from other workers' stacks, and then opens a pressure window that
+// makes the next Block releases bypass the cache and return names straight
+// to the inner pool. Release-side pressure is bounded the same way: a
+// stack at MaxCached spills a whole block back through one coalesced
+// ReleaseN.
+//
+// # Crash recovery
+//
+// The layer composes with the lease/recovery stamps of PR 5/6: the inner
+// arena stamps every claim with the handle's holder identity, so a cached
+// block is one lease — HeartbeatHolder renews parked names along with
+// granted ones, and a crashed process loses its cached blocks to the
+// recovery sweep wholesale. LeaseDomains wraps each domain's Reclaim to
+// purge the name from the cache before the bit is freed, so a sweep that
+// (correctly or due to a lapsed TTL) reclaims a cached name can never
+// leave it on a stack to be granted twice.
+package leasecache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/shm"
+)
+
+// Config parameterizes a cache layer.
+type Config struct {
+	// Block is the number of names leased per refill, in [1, 64] — one
+	// bitmap word, so a word-scan backend serves the whole block in one
+	// claim step. Default 64.
+	Block int
+	// Slots is the number of worker cache slots; procs hash into them by
+	// ID. Default GOMAXPROCS.
+	Slots int
+	// MaxCached caps each slot's stack; a release into a full slot spills
+	// one block back to the inner arena. Default 2×Block.
+	MaxCached int
+}
+
+func (c *Config) fill() {
+	if c.Block == 0 {
+		c.Block = 64
+	}
+	if c.Slots <= 0 {
+		c.Slots = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxCached <= 0 {
+		c.MaxCached = 2 * c.Block
+	}
+}
+
+// slot is one worker cache: a LIFO name stack under its own mutex, padded
+// so neighboring slots never share a cache line.
+type slot struct {
+	mu    sync.Mutex
+	names []int
+	_     [96]byte
+}
+
+// Cache is the word-block lease cache layer. It implements
+// longlived.Arena (and longlived.Recoverable when the inner arena does) by
+// delegation, so it drops into every surface the inner backends serve.
+// All methods are safe for concurrent use by distinct procs.
+type Cache struct {
+	inner longlived.Arena
+	cfg   Config
+	slots []slot
+	// cached holds one bit per inner name: set while the name is parked on
+	// a slot stack. It is the conservation cross-check and what keeps
+	// IsHeld honest — a parked name is claimed below but not held by any
+	// client.
+	cached  []atomic.Uint64
+	nCached atomic.Int64
+	// pressure is the count of upcoming releases that must bypass the
+	// cache and feed the inner pool directly; starved acquirers open it.
+	pressure atomic.Int64
+	// Slow-path event counters (never touched on the fast path).
+	refills atomic.Int64
+	spills  atomic.Int64
+	steals  atomic.Int64
+}
+
+var _ longlived.Arena = (*Cache)(nil)
+var _ longlived.Recoverable = (*Cache)(nil)
+
+// New wraps inner with per-worker word-block lease caches.
+func New(inner longlived.Arena, cfg Config) *Cache {
+	cfg.fill()
+	if cfg.Block < 1 || cfg.Block > 64 {
+		panic(fmt.Sprintf("leasecache: Config.Block must lie in [1, 64], got %d", cfg.Block))
+	}
+	return &Cache{
+		inner:  inner,
+		cfg:    cfg,
+		slots:  make([]slot, cfg.Slots),
+		cached: make([]atomic.Uint64, (inner.NameBound()+63)/64),
+	}
+}
+
+// mark flags name as parked. Double-parking a name would eventually grant
+// it twice, so a set bit is a conservation violation and panics. The bit
+// flips by load+CAS rather than the one-shot Or/And intrinsics — this
+// toolchain's amd64 lowering of the value-returning forms clobbers a live
+// register (caught by the leasecache tests crashing in mark).
+func (c *Cache) mark(name int) {
+	w, bit := &c.cached[name>>6], uint64(1)<<(uint(name)&63)
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			panic(fmt.Sprintf("leasecache: name %d cached twice", name))
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			break
+		}
+	}
+	c.nCached.Add(1)
+}
+
+// unmark clears name's parked bit on its way out of a slot stack.
+func (c *Cache) unmark(name int) {
+	w, bit := &c.cached[name>>6], uint64(1)<<(uint(name)&63)
+	for {
+		old := w.Load()
+		if old&bit == 0 {
+			panic(fmt.Sprintf("leasecache: name %d uncached twice", name))
+		}
+		if w.CompareAndSwap(old, old&^bit) {
+			break
+		}
+	}
+	c.nCached.Add(-1)
+}
+
+// parked reports name's cached bit (no step cost).
+func (c *Cache) parked(name int) bool {
+	return c.cached[name>>6].Load()&(1<<(uint(name)&63)) != 0
+}
+
+// slotFor hashes the proc to its worker slot.
+func (c *Cache) slotFor(p *shm.Proc) *slot {
+	return &c.slots[p.ID()%len(c.slots)]
+}
+
+// Acquire implements longlived.Arena. Fast path: pop the worker slot's
+// stack — no step-counted shared-memory operation, no inner-arena work.
+// Slow paths, in order: lease a fresh block from the inner arena (one
+// word-granular batch claim), steal from another worker's stack, and
+// finally a direct inner acquire; a starved acquire opens the pressure
+// window before reporting the arena full.
+func (c *Cache) Acquire(p *shm.Proc) int {
+	s := c.slotFor(p)
+	if s.mu.TryLock() {
+		if n := len(s.names); n > 0 {
+			name := s.names[n-1]
+			s.names = s.names[:n-1]
+			c.unmark(name)
+			s.mu.Unlock()
+			return name
+		}
+		name := c.refill(p, s)
+		s.mu.Unlock()
+		if name >= 0 {
+			return name
+		}
+	}
+	if name := c.steal(p); name >= 0 {
+		return name
+	}
+	if name := c.inner.Acquire(p); name >= 0 {
+		return name
+	}
+	// Starved while caches may be hoarding: last-chance steal, then make
+	// the next Block releases feed the pool directly.
+	if name := c.steal(p); name >= 0 {
+		return name
+	}
+	c.pressure.Store(int64(c.cfg.Block))
+	return -1
+}
+
+// refill leases one block from the inner arena into the (locked, empty)
+// slot, returning one name of it or -1 when the inner arena served none.
+func (c *Cache) refill(p *shm.Proc, s *slot) int {
+	got := c.inner.AcquireN(p, c.cfg.Block, s.names[:0])
+	if len(got) == 0 {
+		s.names = got
+		return -1
+	}
+	name := got[len(got)-1]
+	s.names = got[:len(got)-1]
+	for _, n := range s.names {
+		c.mark(n)
+	}
+	c.refills.Add(1)
+	return name
+}
+
+// steal pops one parked name from any slot, starting at the proc's own.
+func (c *Cache) steal(p *shm.Proc) int {
+	home := p.ID() % len(c.slots)
+	for off := 0; off < len(c.slots); off++ {
+		s := &c.slots[(home+off)%len(c.slots)]
+		if !s.mu.TryLock() {
+			continue
+		}
+		if n := len(s.names); n > 0 {
+			name := s.names[n-1]
+			s.names = s.names[:n-1]
+			c.unmark(name)
+			s.mu.Unlock()
+			c.steals.Add(1)
+			return name
+		}
+		s.mu.Unlock()
+	}
+	return -1
+}
+
+// relieve consumes one unit of the pressure window.
+func (c *Cache) relieve() bool {
+	for {
+		v := c.pressure.Load()
+		if v <= 0 {
+			return false
+		}
+		if c.pressure.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// Release implements longlived.Arena. Fast path: push the name onto the
+// worker slot's stack — the claim bit stays set in the inner arena, so no
+// step-counted shared-memory operation happens. The name bypasses the
+// cache under an open pressure window, on slot-mutex contention, or past
+// MaxCached (which first spills one whole block back through a coalesced
+// ReleaseN).
+func (c *Cache) Release(p *shm.Proc, name int) {
+	if c.relieve() {
+		c.inner.Release(p, name)
+		return
+	}
+	s := c.slotFor(p)
+	if !s.mu.TryLock() {
+		c.inner.Release(p, name)
+		return
+	}
+	var spill []int
+	if len(s.names) >= c.cfg.MaxCached {
+		spill = c.takeBlock(s)
+	}
+	c.mark(name)
+	s.names = append(s.names, name)
+	s.mu.Unlock()
+	if spill != nil {
+		c.inner.ReleaseN(p, spill)
+		c.spills.Add(1)
+	}
+}
+
+// takeBlock pops up to one block of the oldest parked names from the
+// (locked) slot. Oldest first: they likely came from one leased word, so
+// the inner ReleaseN coalesces them back into few clearing steps.
+func (c *Cache) takeBlock(s *slot) []int {
+	k := c.cfg.Block
+	if k > len(s.names) {
+		k = len(s.names)
+	}
+	out := make([]int, k)
+	copy(out, s.names[:k])
+	s.names = append(s.names[:0], s.names[k:]...)
+	for _, n := range out {
+		c.unmark(n)
+	}
+	return out
+}
+
+// AcquireN implements longlived.Arena: the worker slot serves as much of
+// the batch as it holds; the remainder goes to the inner batch path.
+func (c *Cache) AcquireN(p *shm.Proc, k int, out []int) []int {
+	s := c.slotFor(p)
+	if s.mu.TryLock() {
+		for k > 0 && len(s.names) > 0 {
+			n := len(s.names)
+			name := s.names[n-1]
+			s.names = s.names[:n-1]
+			c.unmark(name)
+			out = append(out, name)
+			k--
+		}
+		s.mu.Unlock()
+	}
+	if k > 0 {
+		out = c.inner.AcquireN(p, k, out)
+	}
+	return out
+}
+
+// ReleaseN implements longlived.Arena: under pressure the whole batch
+// feeds the inner pool (counting as one relief); otherwise the worker slot
+// absorbs names up to MaxCached and the rest flows through the inner
+// batch release.
+func (c *Cache) ReleaseN(p *shm.Proc, names []int) {
+	if len(names) == 0 {
+		return
+	}
+	direct := names
+	if !c.relieve() {
+		s := c.slotFor(p)
+		if s.mu.TryLock() {
+			i := 0
+			for ; i < len(names) && len(s.names) < c.cfg.MaxCached; i++ {
+				c.mark(names[i])
+				s.names = append(s.names, names[i])
+			}
+			s.mu.Unlock()
+			direct = names[i:]
+		}
+	}
+	if len(direct) > 0 {
+		c.inner.ReleaseN(p, direct)
+	}
+}
+
+// Flush returns every parked name to the inner arena (coalesced per
+// slot) and empties the caches. It is the orderly shutdown path — the
+// public Arena.Close flushes so names don't dangle until a lease sweep.
+func (c *Cache) Flush(p *shm.Proc) int {
+	total := 0
+	var buf []int
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.Lock()
+		buf = append(buf[:0], s.names...)
+		for _, n := range buf {
+			c.unmark(n)
+		}
+		s.names = s.names[:0]
+		s.mu.Unlock()
+		c.inner.ReleaseN(p, buf)
+		total += len(buf)
+	}
+	return total
+}
+
+// purge removes a parked name from whichever slot holds it, reporting
+// whether it was found. The recovery sweep calls it through the wrapped
+// Reclaim before freeing the name's claim bit.
+func (c *Cache) purge(name int) bool {
+	if !c.parked(name) {
+		return false
+	}
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.Lock()
+		for j, n := range s.names {
+			if n == name {
+				s.names = append(s.names[:j], s.names[j+1:]...)
+				c.unmark(name)
+				s.mu.Unlock()
+				return true
+			}
+		}
+		s.mu.Unlock()
+	}
+	return false
+}
+
+// LeaseDomains implements longlived.Recoverable: the inner arena's
+// domains with Reclaim wrapped to purge the name from the cache first, so
+// a reclaimed name can never linger on a stack and be granted twice. A
+// non-recoverable (or lease-off) inner arena yields no domains.
+func (c *Cache) LeaseDomains() []longlived.LeaseDomain {
+	rec, ok := c.inner.(longlived.Recoverable)
+	if !ok {
+		return nil
+	}
+	domains := rec.LeaseDomains()
+	out := make([]longlived.LeaseDomain, len(domains))
+	for i, d := range domains {
+		base, inner := d.Base, d.Reclaim
+		d.Reclaim = func(p *shm.Proc, j int) {
+			c.purge(base + j)
+			inner(p, j)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// Label implements longlived.Arena.
+func (c *Cache) Label() string {
+	return fmt.Sprintf("%s+leasecache(block=%d,slots=%d)",
+		c.inner.Label(), c.cfg.Block, len(c.slots))
+}
+
+// Capacity implements longlived.Arena. Note the provisioning caveat in
+// the package comment: parked names count against the inner capacity.
+func (c *Cache) Capacity() int { return c.inner.Capacity() }
+
+// NameBound implements longlived.Arena.
+func (c *Cache) NameBound() int { return c.inner.NameBound() }
+
+// Touch implements longlived.Arena.
+func (c *Cache) Touch(p *shm.Proc, name int) { c.inner.Touch(p, name) }
+
+// IsHeld implements longlived.Arena: a parked name is claimed in the
+// inner arena but held by nobody, so it reports false — which is what
+// keeps the public release validation rejecting names the cache owns.
+func (c *Cache) IsHeld(name int) bool {
+	return c.inner.IsHeld(name) && !c.parked(name)
+}
+
+// Held implements longlived.Arena: the inner claim count minus the parked
+// names. Both reads are racy snapshots (diagnostics only); the clamp
+// absorbs a release landing between them.
+func (c *Cache) Held() int {
+	h := c.inner.Held() - int(c.nCached.Load())
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// Cached returns the number of currently parked names (a snapshot).
+func (c *Cache) Cached() int { return int(c.nCached.Load()) }
+
+// Stats returns the slow-path event counters: block refills, block
+// spills, and cross-slot steals. The fast path counts nothing.
+func (c *Cache) Stats() (refills, spills, steals int64) {
+	return c.refills.Load(), c.spills.Load(), c.steals.Load()
+}
+
+// Probeables implements longlived.Arena.
+func (c *Cache) Probeables() map[string]shm.Probeable { return c.inner.Probeables() }
+
+// Clock implements longlived.Arena.
+func (c *Cache) Clock() func() { return c.inner.Clock() }

@@ -12,6 +12,12 @@ import (
 // sweep (package recovery) can reclaim names whose holder died. A nil
 // LeaseOpts — or one without an epoch source — leaves the backend exactly
 // as before: no stamp array, no extra steps, golden fingerprints intact.
+//
+// A word-block lease cache (package leasecache) layered above a leased
+// backend holds each cached block as one ordinary lease: parked names are
+// stamped to the caching holder exactly like granted ones, heartbeats
+// renew them together, and the recovery sweep reclaims an abandoned
+// cache's blocks whole — no cache-specific recovery protocol exists.
 type LeaseOpts struct {
 	// Epochs is the lease clock shared by holders and reapers. Non-nil
 	// enables the lease layer.

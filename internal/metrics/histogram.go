@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Histogram is an HDR-style log-bucketed histogram of non-negative int64
+// values (typically latencies in nanoseconds). Values below 2^subBits are
+// recorded exactly; above that, each power-of-two octave is split into
+// 2^subBits sub-buckets, bounding relative quantile error at
+// 1/2^subBits ≈ 3%. Histograms recorded independently (for example one
+// per worker goroutine) merge losslessly with Merge, which is what lets
+// the open-loop harness record latencies without cross-goroutine
+// coordination on the hot path.
+//
+// The zero value is an empty histogram ready for use. Histogram is not
+// safe for concurrent use; record into per-worker histograms and Merge.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	// subBits fixes the precision: 2^subBits sub-buckets per octave.
+	subBits = 5
+	// histOctaves covers the full non-negative int64 range: values with
+	// bit length up to 63 plus the exact region below 2^subBits.
+	histOctaves = 64 - subBits
+	// histBuckets is the total bucket count: one exact region of
+	// 2^subBits buckets plus histOctaves octaves of 2^subBits each.
+	histBuckets = (histOctaves + 1) << subBits
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	// exp is the index of the highest set bit; the top subBits+1 bits
+	// select the sub-bucket within the octave.
+	exp := bits.Len64(uint64(v)) - 1
+	sub := int(v>>(uint(exp)-subBits)) - (1 << subBits)
+	return (exp-subBits+1)<<subBits + sub
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i, the value
+// reported for quantiles that land in it.
+func bucketUpper(i int) int64 {
+	if i < 1<<subBits {
+		return int64(i)
+	}
+	octave := i>>subBits - 1
+	sub := i & (1<<subBits - 1)
+	base := int64(1<<subBits+sub) << uint(octave)
+	width := int64(1) << uint(octave)
+	return base + width - 1
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+}
+
+// Merge folds other into h. Merging is exact: the merged histogram is
+// identical to one that recorded both sample streams directly.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min returns the smallest recorded value (exact), or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (exact), or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) as the inclusive upper
+// bound of the bucket holding the nearest-rank observation, clamped to
+// the exact recorded min/max. An empty histogram yields 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// String renders the key quantiles compactly.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p99=%d p999=%d max=%d mean=%.1f",
+		h.total, h.Min(), h.Quantile(0.50), h.Quantile(0.99),
+		h.Quantile(0.999), h.Max(), h.Mean())
+}

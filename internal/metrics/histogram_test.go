@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Fatalf("empty count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty min/max/mean = %d/%d/%f", h.Min(), h.Max(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	// Merging an empty histogram into an empty histogram stays empty.
+	var h2 Histogram
+	h.Merge(&h2)
+	h.Merge(nil)
+	if h.Count() != 0 {
+		t.Fatalf("count after empty merges = %d", h.Count())
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(42) // exact region: one bucket holds everything
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Fatalf("Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+	if h.Min() != 42 || h.Max() != 42 || h.Mean() != 42 {
+		t.Fatalf("min/max/mean = %d/%d/%f", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramSingleLogBucket(t *testing.T) {
+	// All values land in one log bucket above the exact region; the
+	// quantile must clamp to the recorded max, not the bucket bound.
+	var h Histogram
+	h.Record(1 << 20)
+	if got := h.Quantile(0.99); got != 1<<20 {
+		t.Fatalf("Quantile(0.99) = %d, want %d", got, 1<<20)
+	}
+	if got := h.Quantile(0); got != 1<<20 {
+		t.Fatalf("Quantile(0) = %d, want %d", got, 1<<20)
+	}
+}
+
+func TestHistogramExactBelow64(t *testing.T) {
+	// Values below 2^subBits land in exact buckets: quantiles are exact.
+	var h Histogram
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 31 {
+		t.Fatalf("p50 = %d, want 31", got)
+	}
+	if got := h.Quantile(1); got != 63 {
+		t.Fatalf("p100 = %d, want 63", got)
+	}
+	if got := h.Quantile(0.001); got != 0 {
+		t.Fatalf("p0.1 = %d, want 0", got)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose bounds contain it, and
+	// bucket indices must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 65, 127, 128, 1000,
+		1 << 16, 1<<16 + 1, 1 << 40, 1<<62 + 12345} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		prev = i
+		if up := bucketUpper(i); v > up {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, i, up)
+		}
+		if i+1 < histBuckets {
+			// The next bucket starts strictly above this one's upper bound.
+			if lo := bucketUpper(i); bucketUpper(i+1) <= lo {
+				t.Fatalf("bucket %d upper %d not increasing", i, lo)
+			}
+		}
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Quantile estimates stay within the 1/2^subBits relative-error
+	// envelope of the true nearest-rank quantile.
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]int64, 0, 20000)
+	var h Histogram
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.ExpFloat64() * 50e3) // latency-shaped: long tail
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	s := Summarize(samples)
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, s.P50}, {0.90, s.P90}, {0.99, s.P99}} {
+		got := h.Quantile(tc.q)
+		lo := float64(tc.want) * (1 - 1.0/(1<<subBits))
+		hi := float64(tc.want) * (1 + 1.0/(1<<subBits))
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("Quantile(%v) = %d, want within [%.0f, %.0f] of %d",
+				tc.q, got, lo, hi, tc.want)
+		}
+	}
+}
+
+func TestHistogramMergeExact(t *testing.T) {
+	// Merge must be indistinguishable from recording both streams into
+	// one histogram.
+	rng := rand.New(rand.NewSource(11))
+	var a, b, whole Histogram
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 30))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		whole.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Min() != whole.Min() ||
+		a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Fatalf("merged stats diverge: %v vs %v", a.String(), whole.String())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merged Quantile(%v) = %d, direct = %d",
+				q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Record(100)
+	b.Record(200)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Min() != 100 || a.Max() != 200 {
+		t.Fatalf("merge into empty: %s", a.String())
+	}
+	// And the other direction: merging empty leaves b untouched.
+	var empty Histogram
+	b.Merge(&empty)
+	if b.Count() != 2 || b.Min() != 100 || b.Max() != 200 {
+		t.Fatalf("merge of empty changed b: %s", b.String())
+	}
+}

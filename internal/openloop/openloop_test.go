@@ -1,0 +1,108 @@
+package openloop
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shmrename/internal/sharded"
+)
+
+// fastTarget serves instantly: schedule mechanics in isolation.
+type fastTarget struct{ n atomic.Int64 }
+
+func (t *fastTarget) Acquire() (int, error) { return int(t.n.Add(1)), nil }
+func (t *fastTarget) Release(int) error     { return nil }
+
+// fullTarget rejects everything.
+type fullTarget struct{}
+
+func (fullTarget) Acquire() (int, error) { return -1, errors.New("full") }
+func (fullTarget) Release(int) error     { return nil }
+
+func TestRunServesEveryArrival(t *testing.T) {
+	var tgt fastTarget
+	res := Run(&tgt, Config{Rate: 200e3, Arrivals: 2000, Workers: 2, Seed: 3})
+	if res.Offered != 2000 || res.Served != 2000 || res.Dropped != 0 {
+		t.Fatalf("offered/served/dropped = %d/%d/%d", res.Offered, res.Served, res.Dropped)
+	}
+	if got := res.Latency.Count(); got != 2000 {
+		t.Fatalf("histogram recorded %d of 2000 arrivals", got)
+	}
+	if res.AchievedRate <= 0 {
+		t.Fatalf("achieved rate %f", res.AchievedRate)
+	}
+}
+
+func TestRunCountsDrops(t *testing.T) {
+	res := Run(fullTarget{}, Config{Rate: 500e3, Arrivals: 500, Workers: 1, Seed: 3})
+	if res.Dropped != 500 || res.Served != 0 {
+		t.Fatalf("served/dropped = %d/%d", res.Served, res.Dropped)
+	}
+	// Drops still pay latency — the histogram must not omit them.
+	if got := res.Latency.Count(); got != 500 {
+		t.Fatalf("histogram recorded %d of 500 drops", got)
+	}
+}
+
+func TestBurstyMeetsMeanRate(t *testing.T) {
+	// The bursty schedule stretches inter-burst gaps by the burst size;
+	// the scheduled span must stay near the Poisson span for the same
+	// rate (mean preserved), not Burst times shorter.
+	var tgt fastTarget
+	rate := 100e3
+	res := Run(&tgt, Config{Rate: rate, Arrivals: 5000, Workers: 1, Arrival: Bursty, Burst: 32, Seed: 9})
+	wantSpan := time.Duration(float64(5000) / rate * float64(time.Second))
+	if res.Elapsed < wantSpan/2 || res.Elapsed > wantSpan*3 {
+		t.Fatalf("bursty run of 5000 arrivals at %.0f/s took %v, want ≈%v", rate, res.Elapsed, wantSpan)
+	}
+}
+
+func TestLatencyChargesQueueing(t *testing.T) {
+	// A target that stalls must charge the stall to arrivals scheduled
+	// behind it: open-loop latency includes queueing delay.
+	stall := func() (int, error) { time.Sleep(2 * time.Millisecond); return 1, nil }
+	res := Run(targetFunc(stall), Config{Rate: 10e3, Arrivals: 40, Workers: 1, Seed: 5})
+	// At 10k/s arrivals are scheduled 100µs apart but service takes 2ms:
+	// the queue builds and late arrivals wait many service times.
+	if p99 := res.Latency.Quantile(0.99); p99 < int64(10*time.Millisecond) {
+		t.Fatalf("p99 %v too low — queueing delay not charged", time.Duration(p99))
+	}
+}
+
+type targetFunc func() (int, error)
+
+func (f targetFunc) Acquire() (int, error) { return f() }
+func (f targetFunc) Release(int) error     { return nil }
+
+func TestSweepAndKnee(t *testing.T) {
+	// A target with a hard 1ms service time saturates at 1k/s per worker:
+	// the knee must land below the rates that outrun it.
+	slow := func() (int, error) { time.Sleep(time.Millisecond); return 1, nil }
+	points := Sweep(targetFunc(slow), Config{Arrivals: 60, Workers: 1, Seed: 5},
+		[]float64{200, 500, 50e3})
+	if len(points) != 3 {
+		t.Fatalf("%d sweep points", len(points))
+	}
+	k := Knee(points)
+	if k < 0 || k > 1 {
+		t.Fatalf("knee at %d; achieved rates %f %f %f", k,
+			points[0].AchievedRate, points[1].AchievedRate, points[2].AchievedRate)
+	}
+	if last := points[2]; last.AchievedRate >= KneeFraction*last.Rate {
+		t.Fatalf("50k/s point achieved %.0f/s against a 1ms service time", last.AchievedRate)
+	}
+}
+
+func TestWrapArena(t *testing.T) {
+	arena := sharded.New(64, sharded.Config{Shards: 2, MaxPasses: 8, WordScan: true})
+	tgt := WrapArena(arena, 11)
+	res := Run(tgt, Config{Rate: 500e3, Arrivals: 3000, Workers: 4, Seed: 3})
+	if res.Served != 3000 {
+		t.Fatalf("served %d of 3000 against a 64-cap arena under immediate release", res.Served)
+	}
+	if held := arena.Held(); held != 0 {
+		t.Fatalf("%d names leaked", held)
+	}
+}

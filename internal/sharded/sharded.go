@@ -29,6 +29,11 @@
 //     home shard, up to MaxPasses rounds — the termination guarantee,
 //     exactly mirroring the single arena's backstop contract.
 //
+// For provisioned arenas, the word-block lease cache (package leasecache)
+// layers above this frontend and removes even the home-shard CAS from the
+// common case: whole 64-name blocks are leased through the shard protocol
+// once, then served thread-locally with zero shared-memory operations.
+//
 // Release locates the owning shard from the name alone (shards own disjoint
 // contiguous name ranges) and also re-targets the releaser's affinity at
 // that shard: a freed slot is the best known hint for where the next

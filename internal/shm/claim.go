@@ -13,6 +13,11 @@ package shm
 // fetch-and-or / LL-SC strengthening of the per-bit TAS object: still one
 // access to one shared register per step, with word-granular return value.
 //
+// ClaimMask is also the lever behind the word-block lease caches (package
+// leasecache): a cache leases an entire 64-name block with one masked CAS
+// and then serves acquires thread-locally, so the per-block step here is
+// amortized across up to 64 zero-step fast-path acquires.
+//
 // Saturation hints: every NameSpace additionally maintains a summary bitmap
 // (one bit per bitmap word, set when a claim op observed the word full,
 // cleared by every release touching the word). Reading the summary costs no

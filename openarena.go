@@ -41,6 +41,13 @@ func OpenArena(path string, cfg ArenaConfig) (*Arena, error) {
 	if cfg.Shards != 0 || cfg.StealProbes != 0 || cfg.Probes != 0 {
 		return nil, fmt.Errorf("shmrename: OpenArena namespaces are flat; Shards/StealProbes/Probes are not configurable")
 	}
+	if cfg.LeaseBlocks != 0 {
+		// Parked names in a per-process cache would look identical to held
+		// names from every other process of the namespace, defeating the
+		// cross-process occupancy story; the in-process arena is the
+		// lease-cache surface.
+		return nil, fmt.Errorf("shmrename: OpenArena namespaces are flat; LeaseBlocks is not configurable")
+	}
 	if cfg.Probe != ProbeAuto && cfg.Probe != ProbeWord {
 		return nil, fmt.Errorf("shmrename: OpenArena namespaces always scan word-granular; Probe %q is not configurable", cfg.Probe)
 	}
