@@ -14,6 +14,8 @@ import (
 	"shmrename/internal/longlived"
 	"shmrename/internal/prng"
 	"shmrename/internal/recovery"
+	"shmrename/internal/registry"
+	_ "shmrename/internal/registry/all" // link every backend's registration
 	"shmrename/internal/sharded"
 	"shmrename/internal/shm"
 )
@@ -68,7 +70,11 @@ type ArenaConfig struct {
 	// to serve (required, >= 1). More may be admitted on a best-effort
 	// basis; see Arena.Acquire.
 	Capacity int
-	// Backend defaults to ArenaLevel.
+	// Backend defaults to ArenaLevel. Besides the named constants, any
+	// backend registered with the in-process backend registry resolves by
+	// its registry name (e.g. "lease-cached"); registry backends take only
+	// Capacity and Lease — the named-backend tuning knobs (Probes, Probe,
+	// Shards, StealProbes, LeaseBlocks) are config errors with them.
 	Backend ArenaBackend
 	// Probes tunes the per-level random probe count (ArenaLevel) or the
 	// random device-attempt count (ArenaTau). 0 selects the default.
@@ -172,6 +178,11 @@ var (
 	// Returned errors wrap it together with the offending name, identically
 	// on every backend.
 	ErrNotHeld = errors.New("shmrename: name not held")
+	// ErrClosed reports an operation on a closed arena. Acquire, AcquireN,
+	// Release, and ReleaseAll return an error wrapping it after Close,
+	// identically on every backend; Heartbeat and SweepStale report zero
+	// work instead (their contracts are counts, not errors).
+	ErrClosed = errors.New("shmrename: arena closed")
 )
 
 // acquirePasses bounds native Acquire passes before ErrArenaFull: each
@@ -399,7 +410,30 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 			Lease:       lease,
 		})
 	default:
-		return nil, fmt.Errorf("shmrename: unknown arena backend %q", cfg.Backend)
+		// Any other name resolves through the backend registry, so a backend
+		// added to internal/registry/all is immediately constructible here.
+		// Registry backends take only the common construction surface: the
+		// named-backend tuning knobs cannot be forwarded and are config
+		// errors rather than silent no-ops.
+		b, ok := registry.Lookup(string(cfg.Backend))
+		if !ok {
+			return nil, fmt.Errorf("shmrename: unknown arena backend %q", cfg.Backend)
+		}
+		if b.Caps.External {
+			return nil, fmt.Errorf("shmrename: backend %q is backed by external state; open it with OpenArena", cfg.Backend)
+		}
+		if b.Caps.DenseProcs {
+			return nil, fmt.Errorf("shmrename: backend %q requires densely numbered process contexts (the simulated-harness model); it is not constructible behind the pooled-proc NewArena surface", cfg.Backend)
+		}
+		if cfg.Probes != 0 || cfg.Probe != ProbeAuto || cfg.LeaseBlocks != 0 {
+			return nil, fmt.Errorf("shmrename: ArenaConfig.Probes/Probe/LeaseBlocks do not apply to registry backend %q", cfg.Backend)
+		}
+		rcfg := registry.Config{Capacity: cfg.Capacity, MaxPasses: acquirePasses}
+		if cfg.Lease != nil {
+			rcfg.Epochs = shm.WallEpochs{}
+			rcfg.Holder = holder
+		}
+		impl = b.New(rcfg)
 	}
 	var cache *leasecache.Cache
 	if cfg.LeaseBlocks > 0 {
@@ -466,6 +500,9 @@ func (a *Arena) Backend() string { return a.impl.Label() }
 // [0, NameBound), so code that drops the error can never mistake the
 // sentinel for name 0, which a healthy arena hands out constantly.
 func (a *Arena) Acquire() (int, error) {
+	if a.closed.Load() {
+		return -1, fmt.Errorf("%w: Acquire", ErrClosed)
+	}
 	p := a.proc()
 	lane := p.ID()
 	before := p.Steps()
@@ -489,6 +526,9 @@ func (a *Arena) Acquire() (int, error) {
 // capacity and the requested size. k must lie in [1, Capacity]; larger
 // batches could never succeed and are rejected outright.
 func (a *Arena) AcquireN(k int) ([]int, error) {
+	if a.closed.Load() {
+		return nil, fmt.Errorf("%w: AcquireN", ErrClosed)
+	}
 	if k < 1 || k > a.impl.Capacity() {
 		return nil, fmt.Errorf("shmrename: AcquireN batch size %d must lie in [1, Capacity=%d]",
 			k, a.impl.Capacity())
@@ -515,6 +555,9 @@ func (a *Arena) AcquireN(k int) ([]int, error) {
 // An out-of-range name is by definition not held, so it reports ErrNotHeld
 // too, with the offending name and the valid range in the error text.
 func (a *Arena) Release(name int) error {
+	if a.closed.Load() {
+		return fmt.Errorf("%w: Release", ErrClosed)
+	}
 	if err := a.releasable(name); err != nil {
 		return err
 	}
@@ -550,6 +593,9 @@ func (a *Arena) releasable(name int) error {
 // the batch is released once; the repeats report ErrNotHeld, exactly as
 // sequential Release calls would. The slice is not retained or modified.
 func (a *Arena) ReleaseAll(names []int) error {
+	if a.closed.Load() {
+		return fmt.Errorf("%w: ReleaseAll", ErrClosed)
+	}
 	var errs []error
 	valid := make([]int, 0, len(names))
 	// Duplicate detection scans the accepted prefix for typical batch
@@ -598,7 +644,7 @@ func (a *Arena) Leased() bool { return a.rec != nil }
 // renewed — that name is lost to this holder. With leases off, Heartbeat
 // does nothing and returns 0.
 func (a *Arena) Heartbeat() int {
-	if a.rec == nil {
+	if a.rec == nil || a.closed.Load() {
 		return 0
 	}
 	p := a.proc()
@@ -616,7 +662,7 @@ func (a *Arena) Heartbeat() int {
 // background reaper: a live holder's racing heartbeat always wins over
 // the reclaim. With leases off, SweepStale does nothing and returns 0.
 func (a *Arena) SweepStale() int {
-	if a.sweeper == nil {
+	if a.sweeper == nil || a.closed.Load() {
 		return 0
 	}
 	p := a.proc()
@@ -631,7 +677,9 @@ func (a *Arena) SweepStale() int {
 // detaches from the namespace file — held names stay claimed in the file
 // and are recovered by surviving processes' sweeps once their leases
 // lapse. Close is idempotent; an arena without background resources
-// closes trivially. The arena must not be used after Close.
+// closes trivially. After Close, Acquire, AcquireN, Release, and
+// ReleaseAll return an error wrapping ErrClosed, and Heartbeat and
+// SweepStale report zero work.
 func (a *Arena) Close() error {
 	if !a.closed.CompareAndSwap(false, true) {
 		return nil

@@ -27,7 +27,7 @@ func leaseArena(t *testing.T, backend ArenaBackend, capacity int, lc LeaseConfig
 // names, a sweep under a generous TTL reclaims nothing, the Stats counters
 // track all of it, and Close is idempotent.
 func TestArenaLeaseLifecycle(t *testing.T) {
-	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range defaultAndStormBackends() {
 		a := leaseArena(t, backend, 32, LeaseConfig{TTL: time.Hour})
 		if !a.Leased() {
 			t.Fatalf("%q: lease-configured arena reports Leased() == false", backend)
@@ -67,7 +67,7 @@ func TestArenaLeaseLifecycle(t *testing.T) {
 // a sweep returns every name to the pool, after which the full capacity is
 // grantable again.
 func TestArenaLeaseExpiry(t *testing.T) {
-	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range defaultAndStormBackends() {
 		const capacity = 32
 		a := leaseArena(t, backend, capacity, LeaseConfig{TTL: time.Millisecond})
 		names, err := a.AcquireN(10)
@@ -94,7 +94,7 @@ func TestArenaLeaseExpiry(t *testing.T) {
 // TestArenaLeaseHeartbeatSpares: a heartbeating holder's names survive a
 // sweep even when their original acquire-time stamps have long lapsed.
 func TestArenaLeaseHeartbeatSpares(t *testing.T) {
-	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range defaultAndStormBackends() {
 		a := leaseArena(t, backend, 32, LeaseConfig{TTL: 100 * time.Millisecond})
 		names, err := a.AcquireN(8)
 		if err != nil {
@@ -217,7 +217,7 @@ func TestLeaseConfigValidation(t *testing.T) {
 // the valid range, so a dropped error can never alias name 0), and a failed
 // AcquireN returns a nil slice.
 func TestArenaAcquireSentinel(t *testing.T) {
-	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range defaultAndStormBackends() {
 		for _, lease := range []*LeaseConfig{nil, {TTL: time.Hour}} {
 			a, err := NewArena(ArenaConfig{Capacity: 2, Backend: backend, Lease: lease})
 			if err != nil {
@@ -253,7 +253,7 @@ func TestArenaAcquireSentinel(t *testing.T) {
 // out-of-range entries, unheld names, and in-batch duplicates, and each
 // failure's joined error names its position as names[i].
 func TestArenaReleaseAllMixedBatch(t *testing.T) {
-	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range defaultAndStormBackends() {
 		a, err := NewArena(ArenaConfig{Capacity: 16, Backend: backend})
 		if err != nil {
 			t.Fatalf("%q: %v", backend, err)
@@ -303,7 +303,7 @@ func TestArenaReleaseAllMixedBatch(t *testing.T) {
 // backend. It asserts only basic sanity — the real assertion is the race
 // detector observing the concurrent counter and sweeper traffic.
 func TestArenaStatsRaceStorm(t *testing.T) {
-	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range defaultAndStormBackends() {
 		a := leaseArena(t, backend, 64, LeaseConfig{TTL: time.Hour})
 		const churners, iters, readers = 4, 200, 2
 		done := make(chan struct{})

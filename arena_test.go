@@ -9,7 +9,7 @@ import (
 )
 
 func TestArenaBackends(t *testing.T) {
-	for _, backend := range []ArenaBackend{"", ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range defaultAndStormBackends() {
 		a, err := NewArena(ArenaConfig{Capacity: 64, Backend: backend, Seed: 1})
 		if err != nil {
 			t.Fatalf("%q: %v", backend, err)

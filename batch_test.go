@@ -13,7 +13,7 @@ import (
 func arenaCases(t *testing.T, capacity int, probe ProbeMode) map[string]*Arena {
 	t.Helper()
 	out := make(map[string]*Arena)
-	for _, backend := range []ArenaBackend{ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range stormBackends() {
 		cfg := ArenaConfig{Capacity: capacity, Backend: backend, Probe: probe, Seed: 3}
 		if backend == ArenaBackendSharded {
 			cfg.Shards = 4

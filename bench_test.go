@@ -425,7 +425,7 @@ func BenchmarkChurnSim(b *testing.B) {
 // BenchmarkChurnNative measures public-API arena churn on real goroutines:
 // each iteration is one full acquire/release cycle per worker.
 func BenchmarkChurnNative(b *testing.B) {
-	for _, backend := range []ArenaBackend{ArenaLevel, ArenaTau, ArenaBackendSharded} {
+	for _, backend := range stormBackends() {
 		b.Run(string(backend), func(b *testing.B) {
 			arena, err := NewArena(ArenaConfig{Capacity: 256, Backend: backend, Seed: 1})
 			if err != nil {

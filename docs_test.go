@@ -91,7 +91,9 @@ func TestDocsNameRealExperiments(t *testing.T) {
 	}
 	for _, ref := range []string{"internal/taureg", "internal/longlived",
 		"internal/sched", "internal/sharded", "internal/core",
-		"internal/recovery", "internal/persist"} {
+		"internal/recovery", "internal/persist", "internal/leasecache",
+		"internal/registry", "internal/registry/conformance",
+		"internal/exclusive"} {
 		if !strings.Contains(text, ref) {
 			t.Errorf("ALGORITHMS.md missing package reference %s", ref)
 		}

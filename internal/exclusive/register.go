@@ -1,0 +1,28 @@
+package exclusive
+
+import (
+	"shmrename/internal/registry"
+)
+
+func init() {
+	registry.Register(registry.Backend{
+		Name: "exclusive-selection",
+		// Releasable and Deterministic only: selection is serialized through
+		// a register tournament (no batch fast path worth advertising beyond
+		// the interface default, no word-scan geometry, no lease stamps —
+		// crash recovery is out of scope for this primitive base; see the
+		// package comment).
+		Caps: registry.Caps{
+			Releasable:    true,
+			Deterministic: true,
+			DenseProcs:    true, // tournament leaves are assigned by proc ID
+		},
+		New: func(cfg registry.Config) registry.Arena {
+			return New(cfg.Capacity, Config{
+				Procs:     cfg.Procs,
+				MaxPasses: cfg.MaxPasses,
+				Label:     cfg.Label,
+			})
+		},
+	})
+}

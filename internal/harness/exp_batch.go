@@ -5,37 +5,50 @@ import (
 
 	"shmrename/internal/longlived"
 	"shmrename/internal/metrics"
+	"shmrename/internal/registry"
 	"shmrename/internal/sched"
 )
 
-// e17Backends enumerates the (backend, scan-mode) arena constructors of the
-// word-engine comparison. The bit rows are the paper's per-TAS probe path —
-// the deterministic-mode golden contract — and the word rows are the
-// word-granular claim engine behind the config switch; BENCH_4.json records
-// the same matrix.
+// e17Backends enumerates the (backend, scan-mode) matrix of the word-engine
+// comparison from the registry: every unsharded deterministic in-process
+// backend, crossed with the registry Config.Scan override — the "bit" rows
+// are the paper's per-TAS probe path (the deterministic-mode golden
+// contract), the "word" rows the word-granular claim engine behind the same
+// config switch; BENCH_4.json records the same matrix. Sharded and cached
+// frontends are excluded (E19 measures them), as are dense-proc-ID backends
+// without a scan engine (their twin rows would coincide). Today the
+// enumeration yields level-array and tau-longlived, the recorded matrix.
 func e17Backends() []struct {
 	Backend string
 	Scan    string
 	Make    func(capacity int) longlived.Arena
 } {
-	return []struct {
+	var out []struct {
 		Backend string
 		Scan    string
 		Make    func(capacity int) longlived.Arena
-	}{
-		{"level-array", "bit", func(n int) longlived.Arena {
-			return longlived.NewLevel(n, longlived.LevelConfig{Label: "e17-l-bit"})
-		}},
-		{"level-array", "word", func(n int) longlived.Arena {
-			return longlived.NewLevel(n, longlived.LevelConfig{WordScan: true, Label: "e17-l-word"})
-		}},
-		{"tau-longlived", "bit", func(n int) longlived.Arena {
-			return longlived.NewTau(n, longlived.TauConfig{SelfClocked: true, Label: "e17-t-bit"})
-		}},
-		{"tau-longlived", "word", func(n int) longlived.Arena {
-			return longlived.NewTau(n, longlived.TauConfig{WordScan: true, SelfClocked: true, Label: "e17-t-word"})
-		}},
 	}
+	for _, b := range registry.All() {
+		c := b.Caps
+		if !c.Deterministic || !c.Releasable || c.Sharded || c.Cached || c.External || c.DenseProcs {
+			continue
+		}
+		for _, scan := range []string{"bit", "word"} {
+			b, scan := b, scan
+			out = append(out, struct {
+				Backend string
+				Scan    string
+				Make    func(capacity int) longlived.Arena
+			}{b.Name, scan, func(n int) longlived.Arena {
+				return b.New(registry.Config{
+					Capacity: n,
+					Scan:     scan,
+					Label:    fmt.Sprintf("e17-%s-%s", b.Name, scan),
+				})
+			}})
+		}
+	}
+	return out
 }
 
 // e17Churn is the per-worker batch churn of every E17 cell.

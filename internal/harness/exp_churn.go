@@ -5,8 +5,29 @@ import (
 
 	"shmrename/internal/longlived"
 	"shmrename/internal/metrics"
+	"shmrename/internal/registry"
 	"shmrename/internal/sched"
 )
+
+// e15Backends enumerates the registry for the churn sweep: every
+// deterministic, releasable, directly churnable backend — no caching
+// layers (they may report full below capacity while names sit parked in
+// other workers' slots, breaking the every-worker-drains invariant) and no
+// external OS-backed arenas (native-only). A backend that registers with
+// those flags joins the E15 table with no change here; the enumeration
+// currently yields level-array, tau-longlived, sharded, and
+// exclusive-selection, a superset of the canonical
+// longlived.ChurnBackends pair whose (backend, n) rows BENCH_2.json
+// tracks.
+func e15Backends() []registry.Backend {
+	var out []registry.Backend
+	for _, b := range registry.All() {
+		if b.Caps.Deterministic && b.Caps.Releasable && !b.Caps.Cached && !b.Caps.External {
+			out = append(out, b)
+		}
+	}
+	return out
+}
 
 // expE15 exercises the long-lived arena (internal/longlived) under
 // sustained churn: k of n potential clients are active at a time, each
@@ -34,7 +55,7 @@ func expE15() Experiment {
 				"backend", "n", "k", "cycles", "peak active", "max name+1",
 				"name/active", "steps/acquire", "acquires")
 			churn := longlived.DefaultChurn
-			for _, b := range longlived.ChurnBackends() {
+			for _, b := range e15Backends() {
 				for _, n := range cfg.sweep(pow2s(8, 10), pow2s(8, 13)) {
 					for _, k := range []int{n / 16, n / 4, n} {
 						if k < 1 {
@@ -43,7 +64,7 @@ func expE15() Experiment {
 						var maxActive, maxName, acquires int64
 						var stepsPerAcq float64
 						for t := 0; t < cfg.trials(); t++ {
-							arena := b.Make(n)
+							arena := b.New(registry.Config{Capacity: n})
 							mon := longlived.NewMonitor(arena.NameBound())
 							res := sched.Run(sched.Config{
 								N:         k,

@@ -3,12 +3,11 @@ package harness
 import (
 	"fmt"
 
-	"shmrename/internal/leasecache"
 	"shmrename/internal/longlived"
 	"shmrename/internal/metrics"
 	"shmrename/internal/openloop"
 	"shmrename/internal/prng"
-	"shmrename/internal/sharded"
+	"shmrename/internal/registry"
 	"shmrename/internal/shm"
 )
 
@@ -17,28 +16,19 @@ import (
 // the comparison isolates serving cost, not provisioning policy.
 const e19Capacity = 4096
 
-// e19Backends returns the E19 arena variants: the uncached word-scan
-// sharded frontend and the same frontend behind per-worker word-block
-// lease caches.
-func e19Backends() []struct {
-	name string
-	mk   func() longlived.Arena
-} {
-	return []struct {
-		name string
-		mk   func() longlived.Arena
-	}{
-		{"sharded-word", func() longlived.Arena {
-			return sharded.New(e19Capacity, sharded.Config{
-				Shards: 4, WordScan: true, Padded: true, Label: "e19",
-			})
-		}},
-		{"sharded-word+cache", func() longlived.Arena {
-			return leasecache.New(sharded.New(e19Capacity, sharded.Config{
-				Shards: 4, WordScan: true, Padded: true, Label: "e19c",
-			}), leasecache.Config{Block: 64})
-		}},
+// e19Backends enumerates the registry for the open-loop comparison: every
+// word-scan sharded frontend — today the uncached sharded arena and its
+// lease-cached wrapping, so the pair isolates exactly what the word-block
+// caches buy. In-process only: external arenas pay mmap costs this
+// latency harness would misattribute.
+func e19Backends() []registry.Backend {
+	var out []registry.Backend
+	for _, b := range registry.All() {
+		if b.Caps.Sharded && b.Caps.WordScan && !b.Caps.External {
+			out = append(out, b)
+		}
 	}
+	return out
 }
 
 // expE19 measures open-loop tail latency: Poisson and bursty arrival
@@ -72,7 +62,7 @@ func expE19() Experiment {
 			for _, b := range e19Backends() {
 				for _, shape := range []openloop.Arrival{openloop.Poisson, openloop.Bursty} {
 					for _, rate := range rates {
-						arena := b.mk()
+						arena := b.New(registry.Config{Capacity: e19Capacity, Label: "e19-" + b.Name})
 						res := openloop.Run(openloop.WrapArena(arena, cfg.Seed), openloop.Config{
 							Rate:     rate,
 							Arrivals: arrivals,
@@ -82,10 +72,10 @@ func expE19() Experiment {
 						})
 						if res.Served+res.Dropped != res.Offered {
 							panic(fmt.Sprintf("E19 %s %s rate=%g: served %d + dropped %d != offered %d",
-								b.name, shape, rate, res.Served, res.Dropped, res.Offered))
+								b.Name, shape, rate, res.Served, res.Dropped, res.Offered))
 						}
-						drain(b.name, arena)
-						lat.AddRow(b.name, shape.String(), rate, res.Offered, res.Served,
+						drain(b.Name, arena)
+						lat.AddRow(b.Name, shape.String(), rate, res.Offered, res.Served,
 							res.Dropped, res.AchievedRate,
 							res.Latency.Quantile(0.50), res.Latency.Quantile(0.99),
 							res.Latency.Quantile(0.999))
@@ -101,7 +91,7 @@ func expE19() Experiment {
 				sweepRates = []float64{100e3, 500e3, 1e6, 2e6, 4e6}
 			}
 			for _, b := range e19Backends() {
-				arena := b.mk()
+				arena := b.New(registry.Config{Capacity: e19Capacity, Label: "e19k-" + b.Name})
 				points := openloop.Sweep(openloop.WrapArena(arena, cfg.Seed), openloop.Config{
 					Arrivals: arrivals,
 					Workers:  4,
@@ -109,10 +99,10 @@ func expE19() Experiment {
 				}, sweepRates)
 				k := openloop.Knee(points)
 				if k < 0 {
-					panic(fmt.Sprintf("E19 %s: below the knee even at %g/s", b.name, sweepRates[0]))
+					panic(fmt.Sprintf("E19 %s: below the knee even at %g/s", b.Name, sweepRates[0]))
 				}
-				drain(b.name, arena)
-				knee.AddRow(b.name, len(points), points[k].Rate, points[k].AchievedRate)
+				drain(b.Name, arena)
+				knee.AddRow(b.Name, len(points), points[k].Rate, points[k].AchievedRate)
 			}
 			knee.Note = fmt.Sprintf("knee = last offered rate sustained at >= %.0f%% (openloop.Knee)", openloop.KneeFraction*100)
 			return []*metrics.Table{lat, knee}
@@ -120,12 +110,13 @@ func expE19() Experiment {
 	}
 }
 
-// drain asserts an E19 arena ends empty — flushing parked blocks first
-// for the cached variant, since parked names are claimed but held by
-// nobody.
+// drain asserts an E19 arena ends empty — flushing parked blocks first on
+// caching layers (via the registry's Flusher capability interface, so any
+// future caching backend is drained the same way), since parked names are
+// claimed but held by nobody.
 func drain(name string, arena longlived.Arena) {
-	if c, ok := arena.(*leasecache.Cache); ok {
-		c.Flush(shm.NewProc(1<<22, prng.NewStream(1, 1<<22), nil, 0))
+	if f, ok := arena.(registry.Flusher); ok {
+		f.Flush(shm.NewProc(1<<22, prng.NewStream(1, 1<<22), nil, 0))
 	}
 	if held := arena.Held(); held != 0 {
 		panic(fmt.Sprintf("E19 %s: %d names leaked", name, held))

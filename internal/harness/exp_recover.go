@@ -7,7 +7,7 @@ import (
 	"shmrename/internal/metrics"
 	"shmrename/internal/prng"
 	"shmrename/internal/recovery"
-	"shmrename/internal/sharded"
+	"shmrename/internal/registry"
 	"shmrename/internal/shm"
 )
 
@@ -16,28 +16,21 @@ import (
 // decided deterministically by the injected schedule, never by wall time.
 const e18TTL = 8
 
-// e18Backend pairs a report name with a lease-enabled arena constructor.
-type e18Backend struct {
-	name string
-	make func(n int, lease *longlived.LeaseOpts) longlived.Recoverable
-	// leaks reports whether the backend's documented crash windows leak
-	// side capacity that names alone cannot restore (the τ arena's
-	// counting-device bits; see TauConfig.Lease).
-	leaks bool
-}
-
-func e18Backends() []e18Backend {
-	return []e18Backend{
-		{"level-array", func(n int, lease *longlived.LeaseOpts) longlived.Recoverable {
-			return longlived.NewLevel(n, longlived.LevelConfig{Lease: lease, MaxPasses: 8, WordScan: true})
-		}, false},
-		{"tau-longlived", func(n int, lease *longlived.LeaseOpts) longlived.Recoverable {
-			return longlived.NewTau(n, longlived.TauConfig{Lease: lease, MaxPasses: 8, SelfClocked: true, WordScan: true})
-		}, true},
-		{"sharded", func(n int, lease *longlived.LeaseOpts) longlived.Recoverable {
-			return sharded.New(n, sharded.Config{Shards: 4, Lease: lease, MaxPasses: 8})
-		}, false},
+// e18Backends enumerates the registry for fault injection: every leasable
+// backend that the in-process crash machinery can drive — no external
+// OS-backed arenas (they run their own on-open recovery against real
+// processes) and no caching layers (a parked block's stamps belong to the
+// worker that leased it, so the survivor heartbeat-count oracle does not
+// apply). The τ arena's documented device-bit leak is read off
+// Caps.LeaksOnCrash instead of a hand-maintained flag.
+func e18Backends() []registry.Backend {
+	var out []registry.Backend
+	for _, b := range registry.All() {
+		if b.Caps.Leasable && !b.Caps.External && !b.Caps.Cached {
+			out = append(out, b)
+		}
 	}
+	return out
 }
 
 // e18Modes are the injected fault shapes, drawn per worker per round.
@@ -112,7 +105,7 @@ func expE18() Experiment {
 					if recovered > 0 {
 						perName = float64(c.sweepOps) / float64(recovered)
 					}
-					tab.AddRow(b.name, n, k, rounds,
+					tab.AddRow(b.Name, n, k, rounds,
 						c.modes[e18Survive], c.modes[e18Abandon],
 						c.modes[e18PrePublish], c.modes[e18MidRelease],
 						c.planted, c.adopted, c.reclaimed, c.resumed,
@@ -127,9 +120,14 @@ func expE18() Experiment {
 
 // e18Trial runs one seeded trial: rounds of inject-crash-recover-verify,
 // then the pool-whole check.
-func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
+func e18Trial(c *e18Counts, b registry.Backend, n, k, rounds, per int, seed uint64) {
 	ep := shm.NewCounterEpochs(1)
-	arena := b.make(n, &longlived.LeaseOpts{Epochs: ep})
+	// Epochs alone (no pinned Holder) keeps the per-worker default holder
+	// identities the survivor/debris oracles key on.
+	arena, ok := b.New(registry.Config{Capacity: n, MaxPasses: 8, Epochs: ep}).(longlived.Recoverable)
+	if !ok {
+		panic(fmt.Sprintf("E18 %s: registered Leasable but not longlived.Recoverable", b.Name))
+	}
 	sw := recovery.NewSweeper(arena, recovery.Config{TTL: e18TTL, Epochs: ep})
 	reaper := shm.NewProc(1<<20, prng.NewStream(seed, 1<<20), nil, 0)
 	r := prng.NewStream(seed, 0xE18)
@@ -139,11 +137,11 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 	claim := func(w *e18Worker) int {
 		name := arena.Acquire(w.p)
 		if name < 0 {
-			panic(fmt.Sprintf("E18 %s n=%d: acquire failed below capacity", b.name, n))
+			panic(fmt.Sprintf("E18 %s n=%d: acquire failed below capacity", b.Name, n))
 		}
 		if owner[name] != 0 {
 			panic(fmt.Sprintf("E18 %s n=%d: name %d granted to %d while owned by %d",
-				b.name, n, name, w.p.ID(), owner[name]))
+				b.Name, n, name, w.p.ID(), owner[name]))
 		}
 		owner[name] = w.p.ID()
 		w.names = append(w.names, name)
@@ -186,7 +184,7 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 				orphan := e18Crash(arena, w, shm.CrashPrePublish, func() { claim(w) })
 				wDebris = append([]int{orphan}, w.names...)
 				stale = append(stale, w.names...)
-				if b.leaks {
+				if b.Caps.LeaksOnCrash {
 					leakedTrial++ // the device bit was never recorded
 				}
 			case e18MidRelease:
@@ -194,7 +192,7 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 				e18Crash(arena, w, shm.CrashMidRelease, func() { arena.Release(w.p, victim) })
 				wDebris = w.names
 				stale = append(stale, w.names[1:]...) // victim's stamp is gone
-				if b.leaks {
+				if b.Caps.LeaksOnCrash {
 					leakedTrial++ // swapped out of bitOf, never released
 				}
 			}
@@ -226,7 +224,7 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 				}
 				if got := longlived.HeartbeatHolder(arena, w.p, w.holder, ep.Now()); got != len(w.names) {
 					panic(fmt.Sprintf("E18 %s n=%d: survivor %d renewed %d of %d leases",
-						b.name, n, w.p.ID(), got, len(w.names)))
+						b.Name, n, w.p.ID(), got, len(w.names)))
 				}
 			}
 			before := reaper.Steps()
@@ -237,7 +235,7 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 		for _, name := range debris {
 			if arena.IsHeld(name) {
 				panic(fmt.Sprintf("E18 %s n=%d round %d: debris name %d still held after 2 sweeps",
-					b.name, n, round, name))
+					b.Name, n, round, name))
 			}
 			owner[name] = 0
 		}
@@ -249,7 +247,7 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 			for _, name := range w.names {
 				if !arena.IsHeld(name) || owner[name] != w.p.ID() {
 					panic(fmt.Sprintf("E18 %s n=%d round %d: survivor %d lost name %d",
-						b.name, n, round, w.p.ID(), name))
+						b.Name, n, round, w.p.ID(), name))
 				}
 			}
 			arena.ReleaseN(w.p, w.names)
@@ -258,13 +256,13 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 			}
 		}
 		if held := arena.Held(); held != 0 {
-			panic(fmt.Sprintf("E18 %s n=%d round %d: %d names held after drain", b.name, n, round, held))
+			panic(fmt.Sprintf("E18 %s n=%d round %d: %d names held after drain", b.Name, n, round, held))
 		}
 		// Stability: a third sweep over the drained arena must be pure scan.
 		res[2] = sw.Sweep(reaper)
 		if res[2].Adopted+res[2].Reclaimed+res[2].Resumed != 0 {
 			panic(fmt.Sprintf("E18 %s n=%d round %d: post-drain sweep not idle: %+v",
-				b.name, n, round, res[2]))
+				b.Name, n, round, res[2]))
 		}
 		// Exact accounting: adoptions match the injected orphan shapes, and
 		// reclaims + resumes match the debris names, nothing more or less.
@@ -272,7 +270,7 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 		recovered := res[0].Reclaimed + res[0].Resumed + res[1].Reclaimed + res[1].Resumed
 		if recovered != len(debris) {
 			panic(fmt.Sprintf("E18 %s n=%d round %d: recovered %d of %d debris names",
-				b.name, n, round, recovered, len(debris)))
+				b.Name, n, round, recovered, len(debris)))
 		}
 		c.adopted += adopted
 		c.reclaimed += res[0].Reclaimed + res[1].Reclaimed
@@ -285,7 +283,7 @@ func e18Trial(c *e18Counts, b e18Backend, n, k, rounds, per int, seed uint64) {
 	names := arena.AcquireN(p, want, make([]int, 0, want))
 	if len(names) != want {
 		panic(fmt.Sprintf("E18 %s n=%d: pool not whole: %d of %d grantable (leaked %d)",
-			b.name, n, len(names), want, leakedTrial))
+			b.Name, n, len(names), want, leakedTrial))
 	}
 	arena.ReleaseN(p, names)
 	c.leaked += leakedTrial

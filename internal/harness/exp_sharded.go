@@ -6,13 +6,58 @@ import (
 
 	"shmrename/internal/longlived"
 	"shmrename/internal/metrics"
+	"shmrename/internal/registry"
 	"shmrename/internal/sched"
-	"shmrename/internal/sharded"
 )
 
 // e16Churn is the per-worker churn of every E16 cell; the E16 invariants
 // test derives its expected acquire counts from it.
 var e16Churn = longlived.ChurnConfig{Cycles: 24, HoldMin: 0, HoldMax: 4, Yield: true}
+
+// e16Row is one E16 table row: a backend name, its stripe count (0 marks
+// the unsharded baseline), and an arena constructor.
+type e16Row struct {
+	name   string
+	shards int
+	mk     func() longlived.Arena
+}
+
+// e16Rows builds the E16 sweep for one goroutine count from the registry:
+// the unsharded baseline is the registered level-array backend and the
+// sweep rows are the registered sharded frontend with the stripe count
+// overridden through registry.Config.Shards — both forced to the per-bit
+// probe path (Scan "bit") and cache-line padding, the shapes this native
+// experiment has always measured. Routing construction through the
+// registry keeps the baseline/frontend pair tied to the same constructors
+// every other experiment and the conformance suite exercise.
+func e16Rows(g int) []e16Row {
+	level, ok := registry.Lookup("level-array")
+	if !ok {
+		panic("E16: level-array backend not registered")
+	}
+	shardedBackend, ok := registry.Lookup("sharded")
+	if !ok {
+		panic("E16: sharded backend not registered")
+	}
+	rows := []e16Row{{"level-array", 0, func() longlived.Arena {
+		return level.New(registry.Config{
+			Capacity: g, Scan: "bit", Padded: true, Label: "e16-single",
+		})
+	}}}
+	for _, s := range []int{1, 2, 4, 8} {
+		if s > g {
+			continue
+		}
+		s := s
+		rows = append(rows, e16Row{"sharded-level", s, func() longlived.Arena {
+			return shardedBackend.New(registry.Config{
+				Capacity: g, Shards: s, Scan: "bit",
+				Label: fmt.Sprintf("e16-s%d", s),
+			})
+		}})
+	}
+	return rows
+}
 
 // expE16 measures the sharded arena frontend (internal/sharded) on real
 // goroutines: native multicore Acquire/Release throughput and adaptivity
@@ -53,25 +98,7 @@ func expE16() Experiment {
 			churn := e16Churn
 			gors := cfg.sweep([]int{4, 16, 64}, []int{4, 16, 64, 256, 1024})
 			for _, g := range gors {
-				type row struct {
-					name   string
-					shards int
-					mk     func() longlived.Arena
-				}
-				rows := []row{{"level-array", 0, func() longlived.Arena {
-					return longlived.NewLevel(g, longlived.LevelConfig{Padded: true, Label: "e16-single"})
-				}}}
-				for _, s := range []int{1, 2, 4, 8} {
-					if s > g {
-						continue
-					}
-					s := s
-					rows = append(rows, row{"sharded-level", s, func() longlived.Arena {
-						return sharded.New(g, sharded.Config{
-							Shards: s, Padded: true, Label: fmt.Sprintf("e16-s%d", s),
-						})
-					}})
-				}
+				rows := e16Rows(g)
 				for _, rw := range rows {
 					var acquires, maxName, maxActive int64
 					var steps float64

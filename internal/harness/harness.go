@@ -13,6 +13,10 @@ import (
 	"shmrename/internal/core"
 	"shmrename/internal/metrics"
 	"shmrename/internal/sched"
+
+	// Link every registered arena backend: the registry-enumerating
+	// experiments (E15-E19) sweep whatever this import registers.
+	_ "shmrename/internal/registry/all"
 )
 
 // Config parameterizes a harness run.

@@ -434,9 +434,10 @@ func TestE19OpenLoopInvariants(t *testing.T) {
 			t.Fatalf("E19 quantiles out of order: %v", row)
 		}
 	}
-	// Knee table: one row per backend, knee rate within the swept range.
-	if len(tabs[1].Rows) != 2 {
-		t.Fatalf("E19 knee rows = %d", len(tabs[1].Rows))
+	// Knee table: one row per enumerated backend, knee rate within the
+	// swept range.
+	if want := len(e19Backends()); len(tabs[1].Rows) != want {
+		t.Fatalf("E19 knee rows = %d, want %d", len(tabs[1].Rows), want)
 	}
 	for _, row := range tabs[1].Rows {
 		knee, err := strconv.ParseFloat(row[2], 64)

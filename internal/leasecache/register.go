@@ -1,0 +1,47 @@
+package leasecache
+
+import (
+	"shmrename/internal/longlived"
+	"shmrename/internal/registry"
+	"shmrename/internal/sharded"
+)
+
+func init() {
+	registry.Register(registry.Backend{
+		Name: "lease-cached",
+		// Not Deterministic: slot assignment hashes proc IDs into a
+		// GOMAXPROCS-sized slot array and TryLock outcomes depend on real
+		// interleaving, and a cached arena may report full while parked
+		// names exist in other workers' slots — so the simulated churn
+		// invariants (every worker completes every cycle) do not apply.
+		Caps: registry.Caps{
+			Releasable: true,
+			Batch:      true,
+			Leasable:   true,
+			Sharded:    true,
+			WordScan:   true,
+			Cached:     true,
+		},
+		New: func(cfg registry.Config) registry.Arena {
+			// The production shape ArenaConfig.LeaseBlocks wires: per-worker
+			// word-block caches over the word-scan sharded frontend.
+			shards := 4
+			if shards > cfg.Capacity {
+				shards = cfg.Capacity
+			}
+			block := 64
+			if block > cfg.Capacity {
+				block = cfg.Capacity
+			}
+			inner := sharded.New(cfg.Capacity, sharded.Config{
+				Shards:    shards,
+				MaxPasses: cfg.MaxPasses,
+				WordScan:  true,
+				Padded:    true,
+				Lease:     longlived.Lease(cfg),
+				Label:     cfg.Label,
+			})
+			return New(inner, Config{Block: block})
+		},
+	})
+}

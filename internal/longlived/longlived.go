@@ -44,51 +44,19 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"shmrename/internal/registry"
 	"shmrename/internal/shm"
 )
 
 // Arena is a long-lived renaming arena. All methods taking a *shm.Proc
 // perform step-counted shared-memory operations and are safe for concurrent
 // use by distinct procs.
-type Arena interface {
-	// Label names the backend for reports.
-	Label() string
-	// Capacity is the maximum number of concurrent holders the arena
-	// guarantees to serve (acquires beyond it may report full).
-	Capacity() int
-	// NameBound bounds issued names: they lie in [0, NameBound).
-	NameBound() int
-	// Acquire claims a name unique among current holders, or returns -1
-	// after MaxPasses full passes found no free slot (arena full).
-	Acquire(p *shm.Proc) int
-	// AcquireN claims up to k names unique among current holders, appending
-	// them to out and returning the extended slice. It stops short of k only
-	// after MaxPasses full passes left the remainder unserved (arena full);
-	// backends with word-granular storage batch the claims — up to 64 names
-	// per shared-memory step — instead of running k independent searches.
-	AcquireN(p *shm.Proc, k int, out []int) []int
-	// Release returns a name acquired earlier. Only the current holder may
-	// release it.
-	Release(p *shm.Proc, name int)
-	// ReleaseN returns a batch of names acquired earlier. Backends with
-	// word-granular storage coalesce names sharing a bitmap word into one
-	// clearing step. The slice is not retained.
-	ReleaseN(p *shm.Proc, names []int)
-	// Touch reads the register backing a held name (one step): the
-	// stand-in for work a client does against its name while holding it.
-	Touch(p *shm.Proc, name int)
-	// IsHeld reports whether the name is currently held, without spending
-	// a step (diagnostics and release validation).
-	IsHeld(name int) bool
-	// Held counts currently held names, without spending steps.
-	Held() int
-	// Probeables exposes the arena's shared structures to adaptive
-	// adversary policies, keyed by operation-space label.
-	Probeables() map[string]shm.Probeable
-	// Clock returns the per-step hardware hook for externally clocked
-	// simulated runs, or nil.
-	Clock() func()
-}
+//
+// The interface definition lives in internal/registry (the backend
+// registry, a leaf package every implementation can import to
+// self-register); this alias keeps longlived.Arena the canonical spelling
+// throughout the arena stack.
+type Arena = registry.Arena
 
 // Monitor observes a churn run: it tracks occupancy, the largest issued
 // name, per-acquire step costs, and — the core long-lived safety property —

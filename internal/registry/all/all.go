@@ -1,0 +1,19 @@
+// Package all links every in-tree arena backend into the importing binary
+// so its registrations run. Import it for effect:
+//
+//	import _ "shmrename/internal/registry/all"
+//
+// The registry package itself stays a leaf (backends import it to call
+// Register); this package closes the loop for consumers — the conformance
+// suite, the experiment harness, the public shmrename API — that want
+// "every backend" without naming them. A new backend joins every consumer
+// by adding one blank import here.
+package all
+
+import (
+	_ "shmrename/internal/exclusive"
+	_ "shmrename/internal/leasecache"
+	_ "shmrename/internal/longlived"
+	_ "shmrename/internal/persist"
+	_ "shmrename/internal/sharded"
+)

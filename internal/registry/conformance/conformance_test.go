@@ -1,0 +1,20 @@
+package conformance
+
+import (
+	"testing"
+
+	"shmrename/internal/registry"
+	_ "shmrename/internal/registry/all"
+)
+
+// TestConformance runs the full law suite against every registered
+// backend. This is the cross-backend gate: a backend that registers itself
+// (one register file plus a line in internal/registry/all) is pulled under
+// every law its capability flags claim, with no changes here.
+func TestConformance(t *testing.T) {
+	for _, b := range registry.All() {
+		t.Run(b.Name, func(t *testing.T) {
+			Suite(t, b)
+		})
+	}
+}

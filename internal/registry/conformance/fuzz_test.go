@@ -1,0 +1,155 @@
+package conformance
+
+import (
+	"testing"
+
+	"shmrename/internal/registry"
+	_ "shmrename/internal/registry/all"
+)
+
+// opsModel is the sequential oracle the fuzzer checks every backend
+// against: a map of the names the (single) client currently holds. With
+// one proc there is no concurrency, so the arena must agree with the model
+// exactly: grants are fresh and in-bounds, Held tracks the model count,
+// IsHeld matches membership, and "full" may only be reported when the
+// model plus any parked cache blocks account for at least the capacity.
+type opsModel struct {
+	held  []int
+	isSet map[int]bool
+}
+
+func (m *opsModel) add(n int) {
+	m.held = append(m.held, n)
+	m.isSet[n] = true
+}
+
+func (m *opsModel) removeAt(i int) int {
+	n := m.held[i]
+	m.held[i] = m.held[len(m.held)-1]
+	m.held = m.held[:len(m.held)-1]
+	delete(m.isSet, n)
+	return n
+}
+
+// runOps replays one fuzzed operation sequence against one backend.
+func runOps(t *testing.T, b registry.Backend, ops []byte) {
+	const capacity = 16
+	a := b.New(registry.Config{Capacity: capacity, MaxPasses: 8, Label: "fuzz-" + b.Name})
+	if c, ok := a.(interface{ Close() error }); ok {
+		defer c.Close()
+	}
+	p := nativeProc(0)
+	m := &opsModel{isSet: make(map[int]bool)}
+
+	checkGrant := func(n int) {
+		if n < 0 || n >= a.NameBound() {
+			t.Fatalf("%s: granted name %d outside [0, %d)", b.Name, n, a.NameBound())
+		}
+		if m.isSet[n] {
+			t.Fatalf("%s: name %d granted while the model still holds it", b.Name, n)
+		}
+	}
+	checkFull := func() {
+		if len(m.held)+cached(a) < capacity {
+			t.Fatalf("%s: arena reported full with %d held and %d parked of capacity %d",
+				b.Name, len(m.held), cached(a), capacity)
+		}
+	}
+
+	for i, op := range ops {
+		arg := int(op) / 8
+		switch op % 8 {
+		case 0, 1, 2: // single acquire
+			n := a.Acquire(p)
+			if n == -1 {
+				checkFull()
+				continue
+			}
+			checkGrant(n)
+			m.add(n)
+		case 3: // single release
+			if len(m.held) == 0 {
+				continue
+			}
+			n := m.removeAt(arg % len(m.held))
+			a.Release(p, n)
+			if a.IsHeld(n) {
+				t.Fatalf("%s: op %d: name %d held after release", b.Name, i, n)
+			}
+		case 4: // batch acquire
+			if !b.Caps.Batch {
+				continue
+			}
+			k := 1 + arg%5
+			names := a.AcquireN(p, k, nil)
+			if len(names) > k {
+				t.Fatalf("%s: op %d: batch of %d returned %d names", b.Name, i, k, len(names))
+			}
+			for _, n := range names {
+				checkGrant(n)
+				m.add(n)
+			}
+		case 5: // batch release of a random chunk
+			if !b.Caps.Batch || len(m.held) == 0 {
+				continue
+			}
+			k := 1 + arg%5
+			if k > len(m.held) {
+				k = len(m.held)
+			}
+			batch := make([]int, 0, k)
+			for j := 0; j < k; j++ {
+				batch = append(batch, m.removeAt(arg%len(m.held)))
+			}
+			a.ReleaseN(p, batch)
+		case 6: // flush parked names
+			flush(a, p)
+			if c := cached(a); c != 0 {
+				t.Fatalf("%s: op %d: %d names parked after flush", b.Name, i, c)
+			}
+		case 7: // audit the model against the arena
+			if h := a.Held(); h != len(m.held) {
+				t.Fatalf("%s: op %d: arena holds %d, model holds %d", b.Name, i, h, len(m.held))
+			}
+			for _, n := range m.held {
+				if !a.IsHeld(n) {
+					t.Fatalf("%s: op %d: model-held name %d not held by arena", b.Name, i, n)
+				}
+			}
+		}
+	}
+	// Drain: the model's names release cleanly and the pool ends whole.
+	for len(m.held) > 0 {
+		a.Release(p, m.removeAt(0))
+	}
+	flush(a, p)
+	if h, c := a.Held(), cached(a); h != 0 || c != 0 {
+		t.Fatalf("%s: after drain: held %d cached %d, want 0/0", b.Name, h, c)
+	}
+}
+
+// FuzzConformanceOps feeds random operation sequences — single and batch
+// acquires, releases, flushes, audits — to every registered backend and
+// cross-checks each against the sequential model oracle. Run with
+// `go test -fuzz=FuzzConformanceOps ./internal/registry/conformance` to
+// explore beyond the seed corpus.
+func FuzzConformanceOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 3, 3, 3})
+	f.Add([]byte{4, 4, 5, 6, 7})
+	// Fill far past capacity, audit, drain through every release flavor.
+	overfill := make([]byte, 0, 64)
+	for i := 0; i < 24; i++ {
+		overfill = append(overfill, 0)
+	}
+	overfill = append(overfill, 7, 6)
+	for i := 0; i < 24; i++ {
+		overfill = append(overfill, byte(3+8*i))
+	}
+	f.Add(overfill)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		for _, b := range registry.All() {
+			runOps(t, b, ops)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package registry is the backend registry of the long-lived renaming
+// arenas: every arena implementation self-registers at init time with its
+// report name, a constructor from one common Config, and a set of
+// capability flags, so that experiments, storms, and the cross-backend
+// conformance suite (package conformance) enumerate all implementations
+// instead of hand-wiring private backend lists. Adding a backend means
+// adding one register file to its package and listing it in
+// internal/registry/all — no experiment or test file changes.
+//
+// The package is a leaf: it owns the Arena interface (package longlived
+// aliases it, so existing code is unaffected) and imports only the shm
+// kernel, which lets every backend package import the registry without
+// cycles.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"shmrename/internal/shm"
+)
+
+// Arena is a long-lived renaming arena. All methods taking a *shm.Proc
+// perform step-counted shared-memory operations and are safe for concurrent
+// use by distinct procs. Package longlived aliases this type, so
+// longlived.Arena and registry.Arena are the same interface.
+type Arena interface {
+	// Label names the backend for reports.
+	Label() string
+	// Capacity is the maximum number of concurrent holders the arena
+	// guarantees to serve (acquires beyond it may report full).
+	Capacity() int
+	// NameBound bounds issued names: they lie in [0, NameBound).
+	NameBound() int
+	// Acquire claims a name unique among current holders, or returns -1
+	// after MaxPasses full passes found no free slot (arena full).
+	Acquire(p *shm.Proc) int
+	// AcquireN claims up to k names unique among current holders, appending
+	// them to out and returning the extended slice. It stops short of k only
+	// after MaxPasses full passes left the remainder unserved (arena full);
+	// backends with word-granular storage batch the claims — up to 64 names
+	// per shared-memory step — instead of running k independent searches.
+	AcquireN(p *shm.Proc, k int, out []int) []int
+	// Release returns a name acquired earlier. Only the current holder may
+	// release it.
+	Release(p *shm.Proc, name int)
+	// ReleaseN returns a batch of names acquired earlier. Backends with
+	// word-granular storage coalesce names sharing a bitmap word into one
+	// clearing step. The slice is not retained.
+	ReleaseN(p *shm.Proc, names []int)
+	// Touch reads the register backing a held name (one step): the
+	// stand-in for work a client does against its name while holding it.
+	Touch(p *shm.Proc, name int)
+	// IsHeld reports whether the name is currently held, without spending
+	// a step (diagnostics and release validation).
+	IsHeld(name int) bool
+	// Held counts currently held names, without spending steps.
+	Held() int
+	// Probeables exposes the arena's shared structures to adaptive
+	// adversary policies, keyed by operation-space label.
+	Probeables() map[string]shm.Probeable
+	// Clock returns the per-step hardware hook for externally clocked
+	// simulated runs, or nil.
+	Clock() func()
+}
+
+// Flusher is implemented by caching layers (the word-block lease cache)
+// whose Release parks names locally instead of returning them to the pool:
+// Flush returns every parked name, so drain checks and conformance laws can
+// restore pool wholeness before asserting Held() == 0 accounts for
+// everything.
+type Flusher interface {
+	// Flush returns all parked names to the backend and reports how many.
+	Flush(p *shm.Proc) int
+}
+
+// Caps are the capability flags of a registered backend. The conformance
+// suite gates its laws on them: a law only runs against backends that claim
+// the capability it exercises, so one suite covers heterogeneous backends
+// without special-casing names.
+type Caps struct {
+	// Releasable backends support Release/ReleaseN recycling names
+	// indefinitely (all current backends; a one-shot renamer would not).
+	Releasable bool
+	// Batch backends serve AcquireN/ReleaseN word-granularly — up to 64
+	// names per shared-memory step — instead of looping single operations.
+	Batch bool
+	// Leasable backends accept Config.Epochs and then implement
+	// longlived.Recoverable: every claim carries a holder/epoch stamp and a
+	// recovery sweep can reclaim a dead holder's names.
+	Leasable bool
+	// Sharded backends stripe the name space across independent sub-arenas.
+	Sharded bool
+	// WordScan backends search free slots with the word-granular claim
+	// engine (one snapshot-scan-CAS per 64-name bitmap word).
+	WordScan bool
+	// Deterministic backends replay bit-identically under the simulated
+	// scheduler: same seed, same schedule, same grant sequence and step
+	// counts. Gates the fingerprint and adversary-churn laws, and selects
+	// the backends the simulated E15 churn experiment sweeps.
+	Deterministic bool
+	// External backends are backed by OS state (an mmap-backed file): they
+	// run natively only, construct real resources per instance, and are
+	// excluded from simulated experiments and from public NewArena lookup
+	// (OpenArena is their surface).
+	External bool
+	// Cached backends are caching layers whose Release parks names locally
+	// (registry.Flusher): parked names are claimed in the pool but held by
+	// nobody, their recovery unit is the whole handle rather than one proc,
+	// and Acquire may report full while parked names exist elsewhere.
+	Cached bool
+	// LeaksOnCrash backends have documented crash windows that leak side
+	// capacity names alone cannot restore (the τ arena's counting-device
+	// bits); fault-injection laws discount the leak instead of failing.
+	LeaksOnCrash bool
+	// DenseProcs backends require concurrently active proc IDs to be
+	// pairwise distinct modulo Config.Procs (the classic shared-memory model
+	// of N known processes — the exclusive-selection tournament assigns
+	// leaves by ID). The simulator and the conformance storms satisfy this
+	// with dense IDs 0..n-1; the public arena's pooled proc contexts mint
+	// unbounded IDs and cannot, so NewArena refuses these backends.
+	DenseProcs bool
+}
+
+// Config is the common construction surface every registered backend
+// accepts. Fields a backend has no use for are ignored; zero values select
+// the backend's canonical defaults, so Config{Capacity: n} is always valid.
+type Config struct {
+	// Capacity is the number of concurrent holders the arena guarantees to
+	// serve (required, >= 1).
+	Capacity int
+	// MaxPasses bounds full acquire passes before the backend reports the
+	// arena full; 0 selects the backend default (unlimited for in-process
+	// backends — simulated runs rely on the scheduler's step budget).
+	MaxPasses int
+	// Epochs, when non-nil, enables the crash-recovery lease layer on
+	// Leasable backends (see longlived.LeaseOpts). External backends are
+	// always lease-stamped and use it as their clock override.
+	Epochs shm.EpochSource
+	// Holder, when non-zero, stamps every claim with this single holder
+	// identity instead of the backend default (per-proc identities for
+	// in-process backends, the process ID for external ones).
+	Holder uint64
+	// Alive overrides the liveness oracle of external backends' on-open
+	// recovery sweeps; in-process backends ignore it (their sweeps are
+	// driven by recovery.Sweeper, which takes its own oracle).
+	Alive func(holder uint64) bool
+	// Procs hints the maximum number of concurrently active distinct proc
+	// IDs, for backends whose arbitration structures are sized by
+	// contender count (the exclusive-selection tournament). 0 selects
+	// Capacity.
+	Procs int
+	// Label prefixes the backend's operation-space labels; "" selects the
+	// backend default. Conformance instances use distinct labels so interned
+	// operation spaces never collide across subtests.
+	Label string
+	// Scan overrides the free-slot scan engine on backends that implement
+	// both: "bit" forces the per-TAS probe path, "word" the word-granular
+	// claim engine, "" the backend's canonical default (the one its
+	// registered Caps.WordScan flag describes). Backends with a single
+	// engine ignore it. The word-vs-bit experiment sweeps this dimension
+	// across registry backends instead of hand-wiring twin constructors.
+	Scan string
+	// Padded, when true, pads shared words to cache-line stride on backends
+	// that support it (native multicore runs); simulated runs leave it false.
+	Padded bool
+	// Shards overrides the stripe count of sharded frontends; 0 selects the
+	// backend default. Unsharded backends ignore it.
+	Shards int
+}
+
+// Backend is one registered arena implementation.
+type Backend struct {
+	// Name is the unique report name ("level-array", "tau-longlived", ...).
+	Name string
+	// Caps are the backend's capability flags.
+	Caps Caps
+	// New constructs a fresh arena from the common config. Constructors
+	// panic on invalid configuration, exactly like the backends' own New
+	// functions.
+	New func(cfg Config) Arena
+}
+
+// backends is the registration table. Registration happens in package init
+// functions (serialized by the runtime); after init the table is read-only.
+var backends = map[string]Backend{}
+
+// Register adds a backend to the registry. It panics on a duplicate or
+// empty name or a nil constructor — both are programming errors in a
+// backend's register file, best caught at init.
+func Register(b Backend) {
+	if b.Name == "" {
+		panic("registry: Register with empty name")
+	}
+	if b.New == nil {
+		panic(fmt.Sprintf("registry: Register(%q) with nil constructor", b.Name))
+	}
+	if _, dup := backends[b.Name]; dup {
+		panic(fmt.Sprintf("registry: backend %q registered twice", b.Name))
+	}
+	backends[b.Name] = b
+}
+
+// All returns every registered backend sorted by name, so enumeration
+// order — and therefore experiment-table row order and subtest order — is
+// stable regardless of package-initialization order.
+func All() []Backend {
+	out := make([]Backend, 0, len(backends))
+	for _, b := range backends {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Backend, bool) {
+	b, ok := backends[name]
+	return b, ok
+}

@@ -1,0 +1,103 @@
+package registry_test
+
+import (
+	"sort"
+	"testing"
+
+	"shmrename/internal/registry"
+	_ "shmrename/internal/registry/all"
+)
+
+// TestRegisteredSet pins the in-tree backend roster: a new backend must be
+// added here (and to registry/all) deliberately, and a registration that
+// silently stops firing is caught.
+func TestRegisteredSet(t *testing.T) {
+	want := []string{
+		"exclusive-selection",
+		"lease-cached",
+		"level-array",
+		"persist",
+		"sharded",
+		"tau-longlived",
+	}
+	var got []string
+	for _, b := range registry.All() {
+		got = append(got, b.Name)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("All() not sorted by name: %v", got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("registered backends %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered backends %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	b, ok := registry.Lookup("sharded")
+	if !ok || b.Name != "sharded" {
+		t.Fatalf("Lookup(sharded) = %+v, %v", b, ok)
+	}
+	if !b.Caps.Sharded || !b.Caps.WordScan {
+		t.Errorf("sharded caps %+v missing Sharded/WordScan", b.Caps)
+	}
+	if _, ok := registry.Lookup("no-such-backend"); ok {
+		t.Error("Lookup of unknown backend succeeded")
+	}
+}
+
+// TestCapsConsistency checks cross-flag invariants every registration must
+// satisfy.
+func TestCapsConsistency(t *testing.T) {
+	for _, b := range registry.All() {
+		if b.Caps.Cached && b.Caps.Deterministic {
+			t.Errorf("%s: Cached backends park names in scheduler-shaped slots and cannot be Deterministic", b.Name)
+		}
+		if b.Caps.LeaksOnCrash && !b.Caps.Leasable {
+			t.Errorf("%s: LeaksOnCrash only makes sense for Leasable backends", b.Name)
+		}
+		if b.New == nil {
+			t.Errorf("%s: nil constructor", b.Name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	mustPanic := func(name string, b registry.Backend) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		registry.Register(b)
+	}
+	mustPanic("duplicate", registry.Backend{
+		Name: "sharded",
+		New:  func(registry.Config) registry.Arena { return nil },
+	})
+	mustPanic("empty name", registry.Backend{
+		New: func(registry.Config) registry.Arena { return nil },
+	})
+	mustPanic("nil constructor", registry.Backend{Name: "constructorless"})
+}
+
+// TestConstructorsHonorConfig spot-checks that every registered (in-process)
+// constructor respects the common capacity knob.
+func TestConstructorsHonorConfig(t *testing.T) {
+	for _, b := range registry.All() {
+		if b.Caps.External {
+			continue // OS-backed; exercised by the conformance suite
+		}
+		a := b.New(registry.Config{Capacity: 32, Label: "t-reg-" + b.Name})
+		if a.Capacity() != 32 {
+			t.Errorf("%s: capacity %d, want 32", b.Name, a.Capacity())
+		}
+		if a.NameBound() < 32 {
+			t.Errorf("%s: name bound %d below capacity", b.Name, a.NameBound())
+		}
+	}
+}
