@@ -34,6 +34,15 @@ const (
 	// algorithm: counting devices front blocks of names, and releases
 	// return both the name and the device bit.
 	ArenaTau ArenaBackend = "tau-longlived"
+	// ArenaElastic is the contention-proportional level arena: the same
+	// geometric ladder as ArenaLevel, but only a prefix of it is resident —
+	// levels are appended under load and drained/retired when occupancy
+	// falls, without blocking concurrent acquires, so probe work and
+	// resident memory track live holders instead of the provisioned peak.
+	// ArenaConfig.Elastic tunes the policy; with this backend the default
+	// policy applies even when that field is nil. (Equivalently: ArenaLevel
+	// plus a non-nil ArenaConfig.Elastic selects this implementation.)
+	ArenaElastic ArenaBackend = "elastic-level"
 	// ArenaBackendSharded is the striped multicore frontend: the name
 	// space is partitioned across ArenaConfig.Shards level-array
 	// sub-arenas, each goroutine keeps a cached home-shard affinity, and a
@@ -108,6 +117,18 @@ type ArenaConfig struct {
 	// default) disables caching; enabling it requires the word-granular
 	// claim engine (ProbeBit is a config error).
 	LeaseBlocks int
+	// Elastic, when non-nil, makes the arena contention-proportional: the
+	// geometric level ladder starts at MinCapacity's worth of levels and
+	// grows/shrinks with live occupancy, so probe work and resident
+	// bitmap+stamp memory track current holders instead of the provisioned
+	// peak (see Stats().CapacityNow). Resizes never block concurrent
+	// acquires, and a shrink never reclaims a held name. Supported by the
+	// level-array and sharded backends (per-shard elasticity) and by
+	// registry backends declaring the Elastic capability; a config error
+	// elsewhere. Nil (the default) keeps every backend fixed-capacity —
+	// the existing deterministic fingerprints and benchmark gates are
+	// unaffected.
+	Elastic *ElasticConfig
 	// Seed drives client-side randomness (probe targets).
 	Seed uint64
 	// Lease enables crash recovery: every claim carries a holder/epoch
@@ -118,6 +139,66 @@ type ArenaConfig struct {
 	// enabling it adds one shared-memory step per name to each acquire and
 	// release (the stamp publish/retire CAS).
 	Lease *LeaseConfig
+}
+
+// ElasticConfig parameterizes the contention-proportional resize policy of
+// an arena. See ArenaConfig.Elastic. The zero value selects defaults for
+// every knob.
+type ElasticConfig struct {
+	// MinCapacity floors the resident ladder: the arena never shrinks
+	// below the level prefix covering it. 0 selects the smallest level
+	// (64 names; per shard on the sharded backend).
+	MinCapacity int
+	// MaxCapacity caps growth. 0 selects Capacity; an explicit value must
+	// be >= Capacity and extends the ladder's reachable ceiling beyond the
+	// configured guarantee (Arena.Capacity then reports MaxCapacity).
+	MaxCapacity int
+	// GrowAt is the occupancy fraction of the current capacity at which an
+	// acquire proactively appends the next level, in (0, 1). A failed full
+	// pass (the ErrArenaFull signal) grows regardless. 0 selects 0.75.
+	GrowAt float64
+	// ShrinkAt is the occupancy hysteresis for draining the top level, as
+	// a fraction of the capacity without that level; it must stay below
+	// GrowAt. 0 selects 0.25.
+	ShrinkAt float64
+}
+
+// validate checks the knobs against the configured capacity and resolves
+// the growth ceiling.
+func (c *ElasticConfig) validate(capacity int) (int, error) {
+	maxCap := c.MaxCapacity
+	if maxCap == 0 {
+		maxCap = capacity
+	}
+	if maxCap < capacity {
+		return 0, fmt.Errorf("shmrename: ElasticConfig.MaxCapacity must be 0 or >= Capacity=%d, got %d", capacity, maxCap)
+	}
+	if maxCap >= 1<<29 {
+		return 0, fmt.Errorf("shmrename: ElasticConfig.MaxCapacity must be < 2^29, got %d", maxCap)
+	}
+	if c.MinCapacity < 0 || c.MinCapacity > maxCap {
+		return 0, fmt.Errorf("shmrename: ElasticConfig.MinCapacity must lie in [0, MaxCapacity=%d], got %d", maxCap, c.MinCapacity)
+	}
+	growAt := c.GrowAt
+	if growAt == 0 {
+		growAt = 0.75
+	}
+	if growAt < 0 || growAt >= 1 {
+		return 0, fmt.Errorf("shmrename: ElasticConfig.GrowAt must lie in (0, 1), got %v", c.GrowAt)
+	}
+	if c.ShrinkAt < 0 || c.ShrinkAt >= growAt {
+		return 0, fmt.Errorf("shmrename: ElasticConfig.ShrinkAt must lie in [0, GrowAt=%v), got %v", growAt, c.ShrinkAt)
+	}
+	return maxCap, nil
+}
+
+// params translates the public knobs into the registry's common form.
+func (c *ElasticConfig) params() *registry.ElasticParams {
+	return &registry.ElasticParams{
+		MinCapacity: c.MinCapacity,
+		GrowAt:      c.GrowAt,
+		ShrinkAt:    c.ShrinkAt,
+	}
 }
 
 // LeaseConfig parameterizes the crash-recovery lease layer of an arena.
@@ -284,6 +365,19 @@ type ArenaStats struct {
 	// the backend had none free — the imbalance valve. Always 0 with
 	// LeaseBlocks off.
 	CacheSteals int64
+	// CapacityNow is the capacity resident right now: the summed sizes of
+	// an elastic arena's active levels, tracking live contention between
+	// ElasticConfig.MinCapacity and the growth ceiling. Fixed-capacity
+	// backends report Capacity — the two new fields are zero-delta there.
+	CapacityNow int
+	// PeakCapacity is the largest CapacityNow the arena has reached;
+	// Capacity for fixed backends.
+	PeakCapacity int
+	// ResidentBytes is the resident bitmap, saturation-hint, and
+	// lease-stamp storage of backends that report it (level-ladder
+	// arenas, fixed and elastic) — the memory-proportionality proxy
+	// BENCH_6.json records. 0 for backends without a footprint report.
+	ResidentBytes int64
 }
 
 // Stats returns a snapshot of the arena's cumulative operation counters.
@@ -296,6 +390,15 @@ func (a *Arena) Stats() ArenaStats {
 	}
 	if a.cache != nil {
 		st.CacheRefills, st.CacheSpills, st.CacheSteals = a.cache.Stats()
+	}
+	st.CapacityNow = a.impl.Capacity()
+	st.PeakCapacity = st.CapacityNow
+	if el, ok := a.impl.(registry.Elastic); ok {
+		st.CapacityNow = el.CapacityNow()
+		st.PeakCapacity = el.PeakCapacity()
+	}
+	if fp, ok := a.impl.(registry.Footprint); ok {
+		st.ResidentBytes = fp.ResidentBytes()
 	}
 	if a.sweeper != nil {
 		c := a.sweeper.Counters()
@@ -343,6 +446,15 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 				ArenaBackendSharded, cfg.StealProbes, cfg.Backend)
 		}
 	}
+	// The elastic policy resolves its growth ceiling up front: the ladder
+	// shape is provisioned for buildCap, residency starts near MinCapacity.
+	buildCap := cfg.Capacity
+	if cfg.Elastic != nil {
+		var err error
+		if buildCap, err = cfg.Elastic.validate(cfg.Capacity); err != nil {
+			return nil, err
+		}
+	}
 	// The lease layer stamps every claim with this handle's holder
 	// identity (the process ID), so Heartbeat renews all of the handle's
 	// names at once and the handle — not individual goroutines — is the
@@ -370,6 +482,19 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 	var impl longlived.Arena
 	switch cfg.Backend {
 	case "", ArenaLevel:
+		if cfg.Elastic != nil {
+			impl = longlived.NewElastic(buildCap, longlived.ElasticConfig{
+				MinCapacity: cfg.Elastic.MinCapacity,
+				GrowAt:      cfg.Elastic.GrowAt,
+				ShrinkAt:    cfg.Elastic.ShrinkAt,
+				Probes:      cfg.Probes,
+				MaxPasses:   acquirePasses,
+				WordScan:    wordScan,
+				Padded:      true,
+				Lease:       lease,
+			})
+			break
+		}
 		impl = longlived.NewLevel(cfg.Capacity, longlived.LevelConfig{
 			Probes:    cfg.Probes,
 			MaxPasses: acquirePasses,
@@ -377,7 +502,26 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 			Padded:    true,
 			Lease:     lease,
 		})
+	case ArenaElastic:
+		e := cfg.Elastic
+		if e == nil {
+			e = &ElasticConfig{}
+		}
+		impl = longlived.NewElastic(buildCap, longlived.ElasticConfig{
+			MinCapacity: e.MinCapacity,
+			GrowAt:      e.GrowAt,
+			ShrinkAt:    e.ShrinkAt,
+			Probes:      cfg.Probes,
+			MaxPasses:   acquirePasses,
+			WordScan:    wordScan,
+			Padded:      true,
+			Lease:       lease,
+		})
 	case ArenaTau:
+		if cfg.Elastic != nil {
+			return nil, fmt.Errorf("shmrename: ArenaConfig.Elastic is not supported by the %q backend (its counting devices are fixed-shape); use %q or %q",
+				ArenaTau, ArenaLevel, ArenaBackendSharded)
+		}
 		impl = longlived.NewTau(cfg.Capacity, longlived.TauConfig{
 			Probes:      cfg.Probes,
 			MaxPasses:   acquirePasses,
@@ -400,7 +544,7 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		if cfg.StealProbes < 0 {
 			return nil, fmt.Errorf("shmrename: ArenaConfig.StealProbes must be >= 0, got %d", cfg.StealProbes)
 		}
-		impl = sharded.New(cfg.Capacity, sharded.Config{
+		scfg := sharded.Config{
 			Shards:      shards,
 			StealProbes: cfg.StealProbes,
 			MaxPasses:   acquirePasses,
@@ -408,7 +552,11 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 			WordScan:    wordScan,
 			Padded:      true,
 			Lease:       lease,
-		})
+		}
+		if cfg.Elastic != nil {
+			scfg.Elastic = cfg.Elastic.params()
+		}
+		impl = sharded.New(buildCap, scfg)
 	default:
 		// Any other name resolves through the backend registry, so a backend
 		// added to internal/registry/all is immediately constructible here.
@@ -428,7 +576,13 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		if cfg.Probes != 0 || cfg.Probe != ProbeAuto || cfg.LeaseBlocks != 0 {
 			return nil, fmt.Errorf("shmrename: ArenaConfig.Probes/Probe/LeaseBlocks do not apply to registry backend %q", cfg.Backend)
 		}
-		rcfg := registry.Config{Capacity: cfg.Capacity, MaxPasses: acquirePasses}
+		if cfg.Elastic != nil && !b.Caps.Elastic {
+			return nil, fmt.Errorf("shmrename: registry backend %q does not declare the Elastic capability; ArenaConfig.Elastic does not apply", cfg.Backend)
+		}
+		rcfg := registry.Config{Capacity: buildCap, MaxPasses: acquirePasses}
+		if cfg.Elastic != nil {
+			rcfg.Elastic = cfg.Elastic.params()
+		}
 		if cfg.Lease != nil {
 			rcfg.Epochs = shm.WallEpochs{}
 			rcfg.Holder = holder

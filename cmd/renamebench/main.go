@@ -1,5 +1,5 @@
 // Command renamebench regenerates the paper-reproduction experiments
-// E1-E19 (see ALGORITHMS.md §6) and prints their report
+// E1-E20 (see ALGORITHMS.md §6) and prints their report
 // tables.
 //
 // Usage:
@@ -46,6 +46,9 @@ func main() {
 		bench5R = flag.Float64("bench5-rate", 200e3, "offered arrival rate (per second) for the -bench5 fixed-rate cells")
 		bench5N = flag.Int("bench5-arrivals", 20000, "scheduled arrivals per -bench5 cell")
 		bench5A = flag.String("bench5-against", "", "baseline BENCH_5.json to compare -bench5 results against; exits nonzero on p99 regression")
+		bench6  = flag.String("bench6", "", "write the BENCH_6.json elastic diurnal trajectory to this path and exit")
+		bench6C = flag.Int("bench6-cap", 4096, "arena capacity for the -bench6 diurnal sweep (power of two >= 1024)")
+		bench6A = flag.String("bench6-against", "", "baseline BENCH_6.json to compare -bench6 results against; exits nonzero on steps/acquire or storm-p99 regression")
 		recov   = flag.Bool("recovery-smoke", false, "run the native crash-recovery smoke (abandoned-lease reclaim on every backend + mmap reattach) and exit")
 	)
 	flag.Parse()
@@ -101,6 +104,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("bench5 open-loop latency trajectory written to %s\n", *bench5)
+		return
+	}
+
+	if *bench6 != "" {
+		if err := runBench6(*bench6, *seed, *bench6C, *bench6A); err != nil {
+			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench6 elastic diurnal trajectory written to %s\n", *bench6)
 		return
 	}
 

@@ -199,6 +199,49 @@ func ExampleNewArena_leaseCache() {
 	// recycled locally: true
 }
 
+// ExampleNewArena_elastic turns on contention-proportional capacity: the
+// arena starts resident at its smallest level, appends levels lock-free
+// as occupancy crosses the growth threshold, and drains them back —
+// epoch-gated, never blocking concurrent acquires — once demand
+// subsides. Names stay unique and within the fixed NameBound throughout;
+// only the resident footprint moves.
+func ExampleNewArena_elastic() {
+	arena, err := shmrename.NewArena(shmrename.ArenaConfig{
+		Capacity: 1024,
+		Seed:     1,
+		Elastic:  &shmrename.ElasticConfig{},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("starts small:", arena.Stats().CapacityNow < arena.Capacity())
+	names, err := arena.AcquireN(600)
+	if err != nil {
+		panic(err)
+	}
+	grown := arena.Stats().CapacityNow
+	fmt.Println("grew to cover demand:", grown >= 600)
+	for _, n := range names {
+		if err := arena.Release(n); err != nil {
+			panic(err)
+		}
+	}
+	// Light churn drives the epoch-gated drain: each release below the
+	// hysteresis threshold scores toward retiring the top level.
+	for i := 0; i < 5000 && arena.Stats().CapacityNow == grown; i++ {
+		n, _ := arena.Acquire()
+		_ = arena.Release(n)
+	}
+	st := arena.Stats()
+	fmt.Println("shrank after the burst:", st.CapacityNow < grown)
+	fmt.Println("peak remembered:", st.PeakCapacity == grown)
+	// Output:
+	// starts small: true
+	// grew to cover demand: true
+	// shrank after the burst: true
+	// peak remembered: true
+}
+
 // ExampleCountingDevice elects a bounded committee: no matter how many
 // contenders race, at most τ win.
 func ExampleCountingDevice() {

@@ -21,11 +21,13 @@ import (
 func e17Backends() []struct {
 	Backend string
 	Scan    string
+	Elastic bool
 	Make    func(capacity int) longlived.Arena
 } {
 	var out []struct {
 		Backend string
 		Scan    string
+		Elastic bool
 		Make    func(capacity int) longlived.Arena
 	}
 	for _, b := range registry.All() {
@@ -38,8 +40,9 @@ func e17Backends() []struct {
 			out = append(out, struct {
 				Backend string
 				Scan    string
+				Elastic bool
 				Make    func(capacity int) longlived.Arena
-			}{b.Name, scan, func(n int) longlived.Arena {
+			}{b.Name, scan, c.Elastic, func(n int) longlived.Arena {
 				return b.New(registry.Config{
 					Capacity: n,
 					Scan:     scan,
@@ -100,6 +103,9 @@ func expE17() Experiment {
 							}
 							if held := arena.Held(); held != 0 {
 								panic(fmt.Sprintf("E17 %s/%s n=%d b=%d trial %d: %d names still held", b.Backend, b.Scan, n, batch, t, held))
+							}
+							if b.Elastic {
+								assertElasticAdaptive("E17", b.Backend+"/"+b.Scan, n, k*batch, arena, mon)
 							}
 							if a := mon.MaxActive(); a > maxActive {
 								maxActive = a

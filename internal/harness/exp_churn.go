@@ -82,6 +82,9 @@ func expE15() Experiment {
 							if held := arena.Held(); held != 0 {
 								panic(fmt.Sprintf("E15 %s n=%d k=%d trial %d: %d names still held after drain", b.Name, n, k, t, held))
 							}
+							if b.Caps.Elastic {
+								assertElasticAdaptive("E15", b.Name, n, k, arena, mon)
+							}
 							if a := mon.MaxActive(); a > maxActive {
 								maxActive = a
 							}

@@ -1,7 +1,7 @@
-// Package harness defines the experiment suite E1-E19: one reproducible
+// Package harness defines the experiment suite E1-E20: one reproducible
 // experiment per quantitative claim of the paper plus the repository's
 // extensions (long-lived churn, the sharded multicore frontend, crash
-// recovery); see
+// recovery, elastic residency); see
 // ALGORITHMS.md §6 for the index. Each experiment sweeps its parameters
 // over seeded trials, verifies correctness of every execution, and emits
 // report tables consumed by cmd/renamebench.
@@ -15,7 +15,7 @@ import (
 	"shmrename/internal/sched"
 
 	// Link every registered arena backend: the registry-enumerating
-	// experiments (E15-E19) sweep whatever this import registers.
+	// experiments (E15-E20) sweep whatever this import registers.
 	_ "shmrename/internal/registry/all"
 )
 
@@ -64,7 +64,7 @@ func All() []Experiment {
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
 		expE13(), expE14(), expE15(), expE16(), expE17(), expE18(),
-		expE19(),
+		expE19(), expE20(),
 	}
 }
 

@@ -1,0 +1,19 @@
+//go:build go1.25
+
+package leasecache
+
+import "sync/atomic"
+
+// The cached-bit flips want the one-shot atomic.Uint64.Or/And intrinsics:
+// one locked instruction instead of a load+CAS loop. Go 1.24.0's amd64
+// lowering of the value-returning forms clobbered a live register (caught
+// by the leasecache tests crashing in mark), so the intrinsics are gated
+// to toolchains carrying the fix and bits_portable.go keeps the CAS loop
+// for the rest. TestCachedBitOps pins the shared old-value contract on
+// whichever implementation is built.
+
+// setBit sets bit in w and returns the word's previous value.
+func setBit(w *atomic.Uint64, bit uint64) uint64 { return w.Or(bit) }
+
+// clearBit clears bit in w and returns the word's previous value.
+func clearBit(w *atomic.Uint64, bit uint64) uint64 { return w.And(^bit) }

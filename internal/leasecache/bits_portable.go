@@ -1,0 +1,31 @@
+//go:build !go1.25
+
+package leasecache
+
+import "sync/atomic"
+
+// Portable cached-bit flips for toolchains predating the fix for Go
+// 1.24.0's amd64 miscompilation of the value-returning atomic Or/And
+// forms; see bits_fast.go. An already-set (respectively already-clear)
+// bit needs no store at all — returning the observed word matches the
+// intrinsic's contract exactly.
+
+// setBit sets bit in w and returns the word's previous value.
+func setBit(w *atomic.Uint64, bit uint64) uint64 {
+	for {
+		old := w.Load()
+		if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+			return old
+		}
+	}
+}
+
+// clearBit clears bit in w and returns the word's previous value.
+func clearBit(w *atomic.Uint64, bit uint64) uint64 {
+	for {
+		old := w.Load()
+		if old&bit == 0 || w.CompareAndSwap(old, old&^bit) {
+			return old
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package leasecache
+
+import (
+	"testing"
+
+	"shmrename/internal/longlived"
+)
+
+// TestDrainSpillNeverParksDrainingNames pins the elastic composition rule:
+// a parked name is a live claim, so a cached name from a draining level
+// would pin that level's drain forever. The cache must (a) route releases
+// of draining names straight to the inner arena and (b) shed draining
+// names it finds on its stacks instead of granting them — so a forced
+// shrink completes under ordinary acquire/release traffic.
+func TestDrainSpillNeverParksDrainingNames(t *testing.T) {
+	el := longlived.NewElastic(256, longlived.ElasticConfig{
+		MinCapacity: 1,
+		ShrinkAfter: 1 << 30, // only forced shrinks in this test
+		WordScan:    true,
+		MaxPasses:   8,
+		Label:       "t-drainspill",
+	})
+	c := New(el, Config{Block: 32, Slots: 1, MaxCached: 256})
+	p := proc(0)
+
+	// Hold 200 names. The first two ladder levels cover [0, 192), so at
+	// least eight of these live in the top level the shrink will target.
+	var names []int
+	for i := 0; i < 200; i++ {
+		n := c.Acquire(p)
+		if n < 0 {
+			t.Fatalf("acquire %d failed while growing", i)
+		}
+		names = append(names, n)
+	}
+	if act, _ := el.Levels(); act < 3 {
+		t.Fatalf("resident levels %d after 200 holds, want >= 3", act)
+	}
+
+	// Park everything, then force a drain of the top level. The parked
+	// claims pin it: the drain must stay pending, not retire held bits.
+	for _, n := range names {
+		c.Release(p, n)
+	}
+	if c.Shrink() {
+		t.Fatal("Shrink completed with top-level names still parked")
+	}
+	pinned := 0
+	for _, n := range names {
+		if c.Draining(n) {
+			pinned++
+		}
+	}
+	if pinned == 0 {
+		t.Fatal("no parked name sits in the draining level; test lost its premise")
+	}
+
+	// Ordinary churn. Every pop that surfaces a draining name must shed it
+	// to the inner arena rather than grant it, so the drain finishes while
+	// clients only ever see non-draining names.
+	for round := 0; round < 600; round++ {
+		n := c.Acquire(p)
+		if n < 0 {
+			t.Fatalf("round %d: acquire failed during drain", round)
+		}
+		if c.Draining(n) {
+			t.Fatalf("round %d: granted draining name %d", round, n)
+		}
+		c.Release(p, n)
+	}
+
+	c.Flush(p)
+	for c.Shrink() {
+	}
+	if act, _ := el.Levels(); act != 1 {
+		t.Fatalf("resident levels %d after shed+drain, want 1", act)
+	}
+	if now := c.CapacityNow(); now != 64 {
+		t.Fatalf("CapacityNow %d at the floor, want 64", now)
+	}
+	if h, k := el.Held(), c.Cached(); h != 0 || k != 0 {
+		t.Fatalf("held %d cached %d after flush, want 0/0", h, k)
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 
 	"shmrename/internal/longlived"
+	"shmrename/internal/registry"
 	"shmrename/internal/shm"
 )
 
@@ -113,6 +114,11 @@ type Cache struct {
 	// pressure is the count of upcoming releases that must bypass the
 	// cache and feed the inner pool directly; starved acquirers open it.
 	pressure atomic.Int64
+	// drain is the inner arena's draining probe when it has one (elastic
+	// backends). A parked claim would pin a draining level forever, so the
+	// cache refuses to park draining names and sheds any it finds on its
+	// stacks; nil for fixed backends.
+	drain registry.Drainer
 	// Slow-path event counters (never touched on the fast path).
 	refills atomic.Int64
 	spills  atomic.Int64
@@ -128,29 +134,30 @@ func New(inner longlived.Arena, cfg Config) *Cache {
 	if cfg.Block < 1 || cfg.Block > 64 {
 		panic(fmt.Sprintf("leasecache: Config.Block must lie in [1, 64], got %d", cfg.Block))
 	}
-	return &Cache{
+	c := &Cache{
 		inner:  inner,
 		cfg:    cfg,
 		slots:  make([]slot, cfg.Slots),
 		cached: make([]atomic.Uint64, (inner.NameBound()+63)/64),
 	}
+	c.drain, _ = inner.(registry.Drainer)
+	return c
+}
+
+// draining reports whether the inner arena is draining name's level (never
+// true for fixed backends).
+func (c *Cache) draining(name int) bool {
+	return c.drain != nil && c.drain.Draining(name)
 }
 
 // mark flags name as parked. Double-parking a name would eventually grant
 // it twice, so a set bit is a conservation violation and panics. The bit
-// flips by load+CAS rather than the one-shot Or/And intrinsics — this
-// toolchain's amd64 lowering of the value-returning forms clobbers a live
-// register (caught by the leasecache tests crashing in mark).
+// flip goes through setBit — the Or intrinsic on toolchains where it
+// compiles correctly, a load+CAS loop elsewhere (see bits_fast.go).
 func (c *Cache) mark(name int) {
 	w, bit := &c.cached[name>>6], uint64(1)<<(uint(name)&63)
-	for {
-		old := w.Load()
-		if old&bit != 0 {
-			panic(fmt.Sprintf("leasecache: name %d cached twice", name))
-		}
-		if w.CompareAndSwap(old, old|bit) {
-			break
-		}
+	if setBit(w, bit)&bit != 0 {
+		panic(fmt.Sprintf("leasecache: name %d cached twice", name))
 	}
 	c.nCached.Add(1)
 }
@@ -158,14 +165,8 @@ func (c *Cache) mark(name int) {
 // unmark clears name's parked bit on its way out of a slot stack.
 func (c *Cache) unmark(name int) {
 	w, bit := &c.cached[name>>6], uint64(1)<<(uint(name)&63)
-	for {
-		old := w.Load()
-		if old&bit == 0 {
-			panic(fmt.Sprintf("leasecache: name %d uncached twice", name))
-		}
-		if w.CompareAndSwap(old, old&^bit) {
-			break
-		}
+	if clearBit(w, bit)&bit == 0 {
+		panic(fmt.Sprintf("leasecache: name %d uncached twice", name))
 	}
 	c.nCached.Add(-1)
 }
@@ -189,10 +190,16 @@ func (c *Cache) slotFor(p *shm.Proc) *slot {
 func (c *Cache) Acquire(p *shm.Proc) int {
 	s := c.slotFor(p)
 	if s.mu.TryLock() {
-		if n := len(s.names); n > 0 {
+		for n := len(s.names); n > 0; n = len(s.names) {
 			name := s.names[n-1]
 			s.names = s.names[:n-1]
 			c.unmark(name)
+			if c.draining(name) {
+				// A parked claim must not pin a draining level: shed it
+				// to the inner arena and pop the next name instead.
+				c.inner.Release(p, name)
+				continue
+			}
 			s.mu.Unlock()
 			return name
 		}
@@ -242,10 +249,14 @@ func (c *Cache) steal(p *shm.Proc) int {
 		if !s.mu.TryLock() {
 			continue
 		}
-		if n := len(s.names); n > 0 {
+		for n := len(s.names); n > 0; n = len(s.names) {
 			name := s.names[n-1]
 			s.names = s.names[:n-1]
 			c.unmark(name)
+			if c.draining(name) {
+				c.inner.Release(p, name)
+				continue
+			}
 			s.mu.Unlock()
 			c.steals.Add(1)
 			return name
@@ -275,6 +286,13 @@ func (c *Cache) relieve() bool {
 // MaxCached (which first spills one whole block back through a coalesced
 // ReleaseN).
 func (c *Cache) Release(p *shm.Proc, name int) {
+	if c.draining(name) {
+		// Spill-on-drain: parking the claim would pin the draining level
+		// forever, so the name goes straight back to the inner pool (which
+		// is also what lets the drain complete).
+		c.inner.Release(p, name)
+		return
+	}
 	if c.relieve() {
 		c.inner.Release(p, name)
 		return
@@ -324,6 +342,10 @@ func (c *Cache) AcquireN(p *shm.Proc, k int, out []int) []int {
 			name := s.names[n-1]
 			s.names = s.names[:n-1]
 			c.unmark(name)
+			if c.draining(name) {
+				c.inner.Release(p, name)
+				continue
+			}
 			out = append(out, name)
 			k--
 		}
@@ -349,6 +371,11 @@ func (c *Cache) ReleaseN(p *shm.Proc, names []int) {
 		if s.mu.TryLock() {
 			i := 0
 			for ; i < len(names) && len(s.names) < c.cfg.MaxCached; i++ {
+				if c.draining(names[i]) {
+					// Spill-on-drain; the tail past this name flows through
+					// the inner batch release with it.
+					break
+				}
 				c.mark(names[i])
 				s.names = append(s.names, names[i])
 			}
@@ -469,6 +496,56 @@ func (c *Cache) Cached() int { return int(c.nCached.Load()) }
 func (c *Cache) Stats() (refills, spills, steals int64) {
 	return c.refills.Load(), c.spills.Load(), c.steals.Load()
 }
+
+// CapacityNow implements registry.Elastic by delegation; a fixed inner
+// arena reports its (constant) capacity.
+func (c *Cache) CapacityNow() int {
+	if el, ok := c.inner.(registry.Elastic); ok {
+		return el.CapacityNow()
+	}
+	return c.inner.Capacity()
+}
+
+// PeakCapacity implements registry.Elastic by delegation.
+func (c *Cache) PeakCapacity() int {
+	if el, ok := c.inner.(registry.Elastic); ok {
+		return el.PeakCapacity()
+	}
+	return c.inner.Capacity()
+}
+
+// Grow implements registry.Elastic by delegation; fixed inner arenas never
+// grow.
+func (c *Cache) Grow() bool {
+	if el, ok := c.inner.(registry.Elastic); ok {
+		return el.Grow()
+	}
+	return false
+}
+
+// Shrink implements registry.Elastic by delegation. The parked names of
+// this layer count as occupancy below, so a drain completes only after the
+// drain-shedding paths (Acquire pops, Release spills) clear the draining
+// level's names from the stacks.
+func (c *Cache) Shrink() bool {
+	if el, ok := c.inner.(registry.Elastic); ok {
+		return el.Shrink()
+	}
+	return false
+}
+
+// ResidentBytes implements registry.Footprint by delegation (the cached-bit
+// array scales with NameBound, not residency, and is excluded like every
+// per-handle structure).
+func (c *Cache) ResidentBytes() int64 {
+	if fp, ok := c.inner.(registry.Footprint); ok {
+		return fp.ResidentBytes()
+	}
+	return 0
+}
+
+// Draining implements registry.Drainer by delegation.
+func (c *Cache) Draining(name int) bool { return c.draining(name) }
 
 // Probeables implements longlived.Arena.
 func (c *Cache) Probeables() map[string]shm.Probeable { return c.inner.Probeables() }

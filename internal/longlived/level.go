@@ -131,6 +131,21 @@ func (a *LevelArena) NameBound() int { return a.bound }
 // Levels returns the number of levels (diagnostics).
 func (a *LevelArena) Levels() int { return len(a.levels) }
 
+// ResidentBytes implements registry.Footprint: the full ladder's bitmap,
+// saturation-hint, and lease-stamp storage — constant for this fixed
+// arena, and the peak-provisioned baseline BENCH_6.json compares the
+// elastic arena's proportional footprint against.
+func (a *LevelArena) ResidentBytes() int64 {
+	var b int64
+	for _, s := range a.levels {
+		b += int64(s.FootprintBytes())
+	}
+	if a.stamps != nil {
+		b += int64(a.stamps.Size()) * 8
+	}
+	return b
+}
+
 // Leased reports whether the crash-recovery lease layer is on.
 func (a *LevelArena) Leased() bool { return a.stamps != nil }
 

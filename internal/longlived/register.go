@@ -26,9 +26,11 @@ func Lease(cfg registry.Config) *LeaseOpts {
 // the per-bit probe path ChurnBackends has always measured (BENCH_2.json's
 // workload definition), with self-clocked τ — so the registry rows of the
 // E15 churn experiment stay comparable with the recorded trajectories.
-// Both backends implement the bit and word scan engines, so they honor the
-// Config.Scan override (the E17 word-vs-bit matrix sweeps it) and the
-// Padded knob for native multicore runs.
+// All three backends implement the bit and word scan engines, so they
+// honor the Config.Scan override (the E17 word-vs-bit matrix sweeps it) and
+// the Padded knob for native multicore runs. "elastic-level" additionally
+// honors Config.Elastic and declares Caps.Elastic, which opts it into the
+// conformance resize laws and the adaptivity gates of E15/E17.
 func init() {
 	registry.Register(registry.Backend{
 		Name: "level-array",
@@ -45,6 +47,31 @@ func init() {
 				Lease:     Lease(cfg),
 				Label:     cfg.Label,
 			})
+		},
+	})
+	registry.Register(registry.Backend{
+		Name: "elastic-level",
+		Caps: registry.Caps{
+			Releasable:    true,
+			Leasable:      true,
+			Deterministic: true, // resizes serialize under the simulated gate
+			Elastic:       true,
+		},
+		New: func(cfg registry.Config) registry.Arena {
+			ecfg := ElasticConfig{
+				MaxPasses: cfg.MaxPasses,
+				WordScan:  cfg.Scan == "word",
+				Padded:    cfg.Padded,
+				Lease:     Lease(cfg),
+				Label:     cfg.Label,
+			}
+			if e := cfg.Elastic; e != nil {
+				ecfg.MinCapacity = e.MinCapacity
+				ecfg.GrowAt = e.GrowAt
+				ecfg.ShrinkAt = e.ShrinkAt
+				ecfg.ShrinkAfter = e.ShrinkAfter
+			}
+			return NewElastic(cfg.Capacity, ecfg)
 		},
 	})
 	registry.Register(registry.Backend{

@@ -13,7 +13,7 @@ package all
 import (
 	_ "shmrename/internal/exclusive"
 	_ "shmrename/internal/leasecache"
-	_ "shmrename/internal/longlived"
+	_ "shmrename/internal/longlived" // registers level-array, elastic-level, tau-longlived
 	_ "shmrename/internal/persist"
 	_ "shmrename/internal/sharded"
 )

@@ -80,6 +80,9 @@ func Suite(t *testing.T, b registry.Backend) {
 	if b.Caps.Leasable {
 		t.Run("lease-recovery", func(t *testing.T) { lawLeaseRecovery(t, b) })
 	}
+	if b.Caps.Elastic {
+		t.Run("elastic-resize", func(t *testing.T) { lawElastic(t, b) })
+	}
 	t.Run("sentinels", func(t *testing.T) { lawSentinels(t, b) })
 }
 

@@ -1,0 +1,134 @@
+package conformance
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/registry"
+	"shmrename/internal/sched"
+)
+
+// lawElastic is the Elastic capability contract, in three acts:
+//
+//  1. Grow-then-fill uniqueness: forcing the ladder to its ceiling and
+//     then draining the arena grants at least Capacity pairwise-distinct
+//     in-bound names — growth never aliases name ranges.
+//  2. Shrink never reclaims a held name: with every name held, forced
+//     shrinks retire nothing and lose nothing; once the holders leave,
+//     forced shrinks walk residency back down, and a full second fill
+//     regrows the retired levels without aliasing.
+//  3. Resize storm: an antagonist forces grow/shrink transitions while
+//     native workers churn (the conformance CI job runs this under
+//     -race). Resizes must never block or starve an acquire — every
+//     worker completes every cycle — and the pool is whole afterwards.
+func lawElastic(t *testing.T, b registry.Backend) {
+	a := build(t, b, registry.Config{
+		Capacity:  suiteCapacity,
+		MaxPasses: 8, // the fill loops read -1 as "structurally full"
+		Elastic:   &registry.ElasticParams{MinCapacity: 1, ShrinkAfter: 8},
+		Label:     "conf-elastic-" + b.Name,
+	})
+	el, ok := a.(registry.Elastic)
+	if !ok {
+		t.Fatalf("backend %s declares Caps.Elastic but the arena does not implement registry.Elastic", b.Name)
+	}
+	p := nativeProc(0)
+	startCap := el.CapacityNow()
+	if startCap <= 0 || startCap > suiteCapacity {
+		t.Fatalf("initial CapacityNow %d outside (0, %d]", startCap, suiteCapacity)
+	}
+
+	// Act 1: grow to the ceiling, then fill.
+	for el.Grow() {
+	}
+	if el.CapacityNow() < suiteCapacity {
+		t.Fatalf("fully grown CapacityNow %d < capacity %d", el.CapacityNow(), suiteCapacity)
+	}
+	fill := func(stage string) []int {
+		var names []int
+		seen := make(map[int]bool)
+		for {
+			n := a.Acquire(p)
+			if n < 0 {
+				break
+			}
+			if n >= a.NameBound() {
+				t.Fatalf("%s: name %d outside [0, %d)", stage, n, a.NameBound())
+			}
+			if seen[n] {
+				t.Fatalf("%s: name %d granted twice", stage, n)
+			}
+			seen[n] = true
+			names = append(names, n)
+		}
+		if len(names) < suiteCapacity {
+			t.Fatalf("%s: only %d acquires before full; capacity %d is guaranteed", stage, len(names), suiteCapacity)
+		}
+		return names
+	}
+	names := fill("grown fill")
+
+	// Act 2: shrink against live holders.
+	if el.Shrink() {
+		t.Fatal("Shrink retired a level while every name was held")
+	}
+	for _, n := range names {
+		if !a.IsHeld(n) {
+			t.Fatalf("held name %d lost to a shrink attempt", n)
+		}
+	}
+	for _, n := range names {
+		a.Release(p, n)
+	}
+	flush(a, p)
+	for el.Shrink() {
+	}
+	if now := el.CapacityNow(); now >= suiteCapacity {
+		t.Fatalf("CapacityNow %d did not shrink below capacity %d after a full drain", now, suiteCapacity)
+	}
+	if h := a.Held(); h != 0 {
+		t.Fatalf("held %d after drain-to-floor, want 0", h)
+	}
+	for _, n := range fill("regrown fill") {
+		a.Release(p, n)
+	}
+	flush(a, p)
+	for el.Shrink() {
+	}
+
+	// Act 3: churn storm under forced resize transitions.
+	const workers, cycles = 8, 150
+	mon := longlived.NewMonitor(a.NameBound())
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			el.Grow()
+			el.Shrink()
+			runtime.Gosched()
+		}
+	}()
+	sched.RunNative(workers, 61, longlived.ChurnBody(a, mon, longlived.ChurnConfig{
+		Cycles: cycles, HoldMin: 0, HoldMax: 4, Yield: true,
+	}))
+	stop.Store(true)
+	wg.Wait()
+	if err := mon.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if full := !b.Caps.Cached; full && mon.Acquires() != workers*cycles {
+		t.Fatalf("resize storm completed %d of %d acquires — a transition starved a worker", mon.Acquires(), workers*cycles)
+	}
+	flush(a, p)
+	if h, c := a.Held(), cached(a); h != 0 || c != 0 {
+		t.Fatalf("after resize storm: held %d cached %d, want 0/0", h, c)
+	}
+	if el.PeakCapacity() < el.CapacityNow() {
+		t.Fatalf("PeakCapacity %d < CapacityNow %d", el.PeakCapacity(), el.CapacityNow())
+	}
+}

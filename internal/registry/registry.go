@@ -64,6 +64,48 @@ type Arena interface {
 	Clock() func()
 }
 
+// Elastic is the optional interface of arenas whose resident level ladder
+// tracks load at runtime (Caps.Elastic backends, the sharded frontend over
+// elastic sub-arenas, and caching layers above either). Fixed-capacity
+// wrappers may also implement it by delegation, reporting constant values.
+type Elastic interface {
+	// CapacityNow is the instantaneous claimable capacity: the summed sizes
+	// of the active (non-draining) levels. It moves between the configured
+	// minimum and Capacity as the arena grows and shrinks.
+	CapacityNow() int
+	// PeakCapacity is the high-water mark of CapacityNow over the arena's
+	// lifetime.
+	PeakCapacity() int
+	// Grow force-appends the next geometric level (or cancels an in-flight
+	// drain), reporting whether the ladder changed. Acquire paths call the
+	// same transition on demand; tests and benchmarks force it.
+	Grow() bool
+	// Shrink force-initiates (and, when the top level is already empty,
+	// completes) a drain of the top active level, reporting whether a level
+	// was retired. It never reclaims a held name: a drain with live holders
+	// stays pending until they release.
+	Shrink() bool
+}
+
+// Footprint is the optional interface of arenas that can report their
+// resident shared-state storage — bitmap words, saturation hints, and
+// lease stamps. It is the resident-bytes proxy behind the elastic arena's
+// proportional-memory claim; fixed backends report their static footprint.
+type Footprint interface {
+	// ResidentBytes is the arena's current shared-state storage in bytes.
+	ResidentBytes() int64
+}
+
+// Drainer is the optional interface of elastic arenas consulted by caching
+// layers: a released name in a draining level must flow back to the pool
+// instead of being parked, or the parked claim would pin the drain forever.
+type Drainer interface {
+	// Draining reports whether name lies in a level being drained for
+	// retirement (no step cost; a racy snapshot is fine — a stale false
+	// merely delays the drain until the cache recirculates the name).
+	Draining(name int) bool
+}
+
 // Flusher is implemented by caching layers (the word-block lease cache)
 // whose Release parks names locally instead of returning them to the pool:
 // Flush returns every parked name, so drain checks and conformance laws can
@@ -113,6 +155,13 @@ type Caps struct {
 	// capacity names alone cannot restore (the τ arena's counting-device
 	// bits); fault-injection laws discount the leak instead of failing.
 	LeaksOnCrash bool
+	// Elastic backends size their resident level ladder to the current
+	// contention: levels are appended under load and drained/retired when
+	// occupancy falls, between Config.Elastic.MinCapacity and Capacity.
+	// They implement the registry Elastic interface; the conformance suite
+	// gates its resize laws (grow-then-fill uniqueness, shrink-never-
+	// reclaims-held, storm-under-forced-resizes) on this flag.
+	Elastic bool
 	// DenseProcs backends require concurrently active proc IDs to be
 	// pairwise distinct modulo Config.Procs (the classic shared-memory model
 	// of N known processes — the exclusive-selection tournament assigns
@@ -167,6 +216,33 @@ type Config struct {
 	// Shards overrides the stripe count of sharded frontends; 0 selects the
 	// backend default. Unsharded backends ignore it.
 	Shards int
+	// Elastic overrides the resize thresholds of elastic backends (zero
+	// fields select the backend defaults); non-elastic backends ignore it.
+	// The ladder maximum is always Capacity — the capacity guarantee is
+	// reached through growth.
+	Elastic *ElasticParams
+}
+
+// ElasticParams are the resize knobs of elastic backends (see
+// Config.Elastic). All fields are optional; zero selects the default.
+type ElasticParams struct {
+	// MinCapacity floors the resident ladder: the arena never shrinks below
+	// the level prefix covering it. Default 64 (one bitmap word), clamped
+	// to Capacity.
+	MinCapacity int
+	// GrowAt is the occupancy fraction of the current ladder at which a
+	// successful acquire proactively appends the next level, in (0, 1).
+	// Default 0.75. (A failed full pass grows unconditionally.)
+	GrowAt float64
+	// ShrinkAt is the occupancy hysteresis for draining the top level:
+	// shrinking becomes eligible while occupancy stays at or below
+	// ShrinkAt x (capacity without the top level), in [0, GrowAt).
+	// Default 0.25.
+	ShrinkAt float64
+	// ShrinkAfter is the number of consecutive shrink-eligible release
+	// observations before a drain actually starts — the debounce that keeps
+	// a diurnal trough from thrashing the ladder. Default 128.
+	ShrinkAfter int
 }
 
 // Backend is one registered arena implementation.

@@ -13,6 +13,7 @@ import (
 // silently stops firing is caught.
 func TestRegisteredSet(t *testing.T) {
 	want := []string{
+		"elastic-level",
 		"exclusive-selection",
 		"lease-cached",
 		"level-array",

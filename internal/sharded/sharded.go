@@ -64,6 +64,7 @@ import (
 	"sync/atomic"
 
 	"shmrename/internal/longlived"
+	"shmrename/internal/registry"
 	"shmrename/internal/shm"
 )
 
@@ -122,6 +123,15 @@ type Config struct {
 	// regions through LeaseDomains, offset by each shard's name base. Nil
 	// (the default) costs nothing.
 	Lease *longlived.LeaseOpts
+	// Elastic stripes longlived.ElasticArena sub-arenas instead of fixed
+	// ones: each shard's ladder grows and drains with its own occupancy
+	// (thresholds per registry.ElasticParams; MinCapacity is the per-shard
+	// floor), so resident memory and probe work track per-stripe
+	// contention. Requires SubLevel (the τ sub-backend is fixed-shape —
+	// setting both panics). The equal-stride name envelope is unchanged:
+	// an elastic ladder's NameBound equals the fixed ladder's for the same
+	// sub-capacity. Nil (the default) keeps the shards fixed.
+	Elastic *registry.ElasticParams
 	// Label prefixes the operation-space labels. Default "sharded".
 	Label string
 }
@@ -190,6 +200,21 @@ func New(capacity int, cfg Config) *Arena {
 		var sub longlived.Arena
 		switch cfg.Sub {
 		case SubLevel:
+			if e := cfg.Elastic; e != nil {
+				sub = longlived.NewElastic(subCap, longlived.ElasticConfig{
+					MinCapacity: e.MinCapacity,
+					GrowAt:      e.GrowAt,
+					ShrinkAt:    e.ShrinkAt,
+					ShrinkAfter: e.ShrinkAfter,
+					Probes:      cfg.Probes,
+					MaxPasses:   1, // one bounded pass per frontend attempt
+					WordScan:    cfg.WordScan,
+					Padded:      cfg.Padded,
+					Lease:       cfg.Lease,
+					Label:       label,
+				})
+				break
+			}
 			sub = longlived.NewLevel(subCap, longlived.LevelConfig{
 				Probes:    cfg.Probes,
 				MaxPasses: 1, // one bounded pass per frontend attempt
@@ -199,6 +224,9 @@ func New(capacity int, cfg Config) *Arena {
 				Label:     label,
 			})
 		case SubTau:
+			if cfg.Elastic != nil {
+				panic("sharded: Config.Elastic requires the SubLevel sub-backend")
+			}
 			sub = longlived.NewTau(subCap, longlived.TauConfig{
 				Probes:      cfg.Probes,
 				MaxPasses:   1,
@@ -515,6 +543,82 @@ func (a *Arena) LeaseDomains() []longlived.LeaseDomain {
 		}
 	}
 	return out
+}
+
+// CapacityNow implements registry.Elastic: the summed resident capacity of
+// the stripes. Fixed sub-arenas contribute their full capacity, so a
+// non-elastic sharded arena reports CapacityNow == Capacity (modulo the
+// ⌈capacity/S⌉ rounding the fixed arena also carries).
+func (a *Arena) CapacityNow() int {
+	c := 0
+	for _, s := range a.shards {
+		if el, ok := s.(registry.Elastic); ok {
+			c += el.CapacityNow()
+		} else {
+			c += s.Capacity()
+		}
+	}
+	return c
+}
+
+// PeakCapacity implements registry.Elastic (summed per-stripe peaks; the
+// stripes peak independently, so this bounds any instantaneous global
+// capacity from above).
+func (a *Arena) PeakCapacity() int {
+	c := 0
+	for _, s := range a.shards {
+		if el, ok := s.(registry.Elastic); ok {
+			c += el.PeakCapacity()
+		} else {
+			c += s.Capacity()
+		}
+	}
+	return c
+}
+
+// Grow implements registry.Elastic: every stripe is asked to extend its
+// ladder; true when any did. Fixed stripes never grow.
+func (a *Arena) Grow() bool {
+	grew := false
+	for _, s := range a.shards {
+		if el, ok := s.(registry.Elastic); ok && el.Grow() {
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Shrink implements registry.Elastic: every stripe attempts a drain; true
+// when any retired a level. Like the sub-arena's Shrink it never reclaims
+// a held name.
+func (a *Arena) Shrink() bool {
+	shrank := false
+	for _, s := range a.shards {
+		if el, ok := s.(registry.Elastic); ok && el.Shrink() {
+			shrank = true
+		}
+	}
+	return shrank
+}
+
+// ResidentBytes implements registry.Footprint: the summed footprint of the
+// stripes that report one.
+func (a *Arena) ResidentBytes() int64 {
+	var b int64
+	for _, s := range a.shards {
+		if fp, ok := s.(registry.Footprint); ok {
+			b += fp.ResidentBytes()
+		}
+	}
+	return b
+}
+
+// Draining implements registry.Drainer, routing to the owning stripe: a
+// caching layer must not park names of a draining per-shard level.
+func (a *Arena) Draining(name int) bool {
+	s, i := a.locate(name)
+	d, ok := a.shards[s].(registry.Drainer)
+	return ok && d.Draining(i)
 }
 
 // Touch implements longlived.Arena.

@@ -74,9 +74,42 @@ func (h *HintBits) Reset() {
 	}
 }
 
+// SetAll marks every tracked object saturated in one pass. The elastic
+// arena uses it when a level starts draining: forcing the whole level's
+// saturation summary makes word-granular probes skip it at zero step cost
+// while stragglers still inside a pass revalidate against the level state.
+// Like every hint write it is advisory — a concurrent Clear can reopen a
+// bit, and correctness never depends on the hints.
+func (h *HintBits) SetAll() {
+	for i := range h.words {
+		h.words[i].Store(^uint64(0))
+	}
+}
+
 // Words returns the number of bitmap words; word w covers the names
 // [64w, min(64w+64, Size())).
 func (s *NameSpace) Words() int { return (s.size + 63) / 64 }
+
+// SaturateAll forces every word-saturation hint of the space, so
+// word-granular probes skip the whole space at zero step cost until a
+// release reopens a word. Advisory only (see HintBits.SetAll); the elastic
+// arena calls it when a level starts draining.
+func (s *NameSpace) SaturateAll() { s.sat.SetAll() }
+
+// DesaturateAll clears every word-saturation hint of the space, reopening
+// it to word-granular probes in one pass. Advisory only: a stale clear
+// merely costs the next probe one step to re-mark a genuinely full word.
+// The elastic arena calls it when a pending drain is cancelled by
+// returning demand.
+func (s *NameSpace) DesaturateAll() { s.sat.Reset() }
+
+// FootprintBytes returns the resident storage of the space — bitmap words
+// plus the saturation-hint summary, padding included. A diagnostic for
+// memory-proportionality claims (the elastic arena's resident-bytes proxy),
+// not a process step.
+func (s *NameSpace) FootprintBytes() int {
+	return (len(s.words) + len(s.sat.words)) * 8
+}
 
 // wordPtr returns the storage word and the valid-bit mask of bitmap word w
 // (the final word of a non-multiple-of-64 space is partial).

@@ -28,9 +28,9 @@ import (
 // while holding names, and Close to detach.
 //
 // The persisted namespace is a flat bitmap: cfg.Backend, Shards,
-// StealProbes, and Probes must be zero — cross-process churn is dominated
-// by page coherence, not probe schedules, and a flat map keeps the
-// on-disk geometry trivially checkable.
+// StealProbes, Probes, and Elastic must be zero — cross-process churn is
+// dominated by page coherence, not probe schedules, and a flat map with a
+// fixed on-disk geometry keeps every attach trivially checkable.
 func OpenArena(path string, cfg ArenaConfig) (*Arena, error) {
 	if cfg.Capacity < 1 {
 		return nil, errors.New("shmrename: ArenaConfig.Capacity must be >= 1")
@@ -40,6 +40,13 @@ func OpenArena(path string, cfg ArenaConfig) (*Arena, error) {
 	}
 	if cfg.Shards != 0 || cfg.StealProbes != 0 || cfg.Probes != 0 {
 		return nil, fmt.Errorf("shmrename: OpenArena namespaces are flat; Shards/StealProbes/Probes are not configurable")
+	}
+	if cfg.Elastic != nil {
+		// The mmap'd file's geometry (header-checked on every attach) is
+		// the cross-process contract; levels appearing and vanishing would
+		// need every attached process to agree on remap points. Elasticity
+		// stays an in-process feature.
+		return nil, fmt.Errorf("shmrename: OpenArena namespaces have a fixed on-disk geometry; Elastic is not configurable")
 	}
 	if cfg.LeaseBlocks != 0 {
 		// Parked names in a per-process cache would look identical to held
