@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shmrename/internal/integrity"
 	"shmrename/internal/leasecache"
 	"shmrename/internal/longlived"
 	"shmrename/internal/prng"
@@ -139,6 +140,74 @@ type ArenaConfig struct {
 	// enabling it adds one shared-memory step per name to each acquire and
 	// release (the stamp publish/retire CAS).
 	Lease *LeaseConfig
+	// Integrity enables the self-healing layer: an integrity scrubber that
+	// verifies the arena's conservation invariant (every name free, parked,
+	// or granted — never two at once), repairs repairable damage, and —
+	// with Quarantine on — withdraws irreparably damaged bitmap words from
+	// circulation instead of risking a duplicate grant. Health surfaces the
+	// verdict, Scrub runs a pass on demand, and ScrubInterval runs them in
+	// the background. Requires Lease (the scrubber reads the lease stamps);
+	// nil (the default) disables the layer at zero cost.
+	Integrity *IntegrityConfig
+}
+
+// IntegrityConfig parameterizes the self-healing integrity layer of an
+// arena. See ArenaConfig.Integrity.
+type IntegrityConfig struct {
+	// ScrubInterval, when positive, starts a background goroutine running
+	// one integrity scrub every interval; Close stops it. Zero means no
+	// background scrubbing — passes happen only on Scrub calls.
+	ScrubInterval time.Duration
+	// Quarantine enables containment: a bitmap word with irreparable
+	// damage (state that no legal execution produces, e.g. a live client
+	// stamp over a clear claim bit) is withdrawn from circulation whole —
+	// its free names are seized under quarantine stamps, Capacity drops by
+	// the quarantined count, and Health reports Degraded. Off, such damage
+	// is only detected and reported (Health Failed); nothing is contained.
+	// Quarantine requires a backend whose claim bits carry no side state
+	// (level-array, sharded, lease-cached, persist); on others the
+	// violation is reported unrepaired.
+	Quarantine bool
+}
+
+func (c *IntegrityConfig) validate() error {
+	if c.ScrubInterval < 0 {
+		return fmt.Errorf("shmrename: IntegrityConfig.ScrubInterval must be >= 0, got %v", c.ScrubInterval)
+	}
+	return nil
+}
+
+// Health classifies an arena's integrity state; see Arena.Health.
+type Health int
+
+// Health states.
+const (
+	// Healthy: no unrepaired damage and no quarantined capacity. Arenas
+	// without the integrity layer always report Healthy.
+	Healthy Health = iota
+	// Degraded: the scrubber contained damage by quarantining names — the
+	// arena is safe (no duplicate grants) but serves less than its
+	// configured capacity. Plan to rebuild the namespace.
+	Degraded
+	// Failed: damage was detected that the arena could not repair or
+	// contain — a lease-cache conservation violation, or an integrity
+	// violation with quarantine unavailable. Exclusivity can no longer be
+	// vouched for; acquire/release return errors wrapping ErrCorrupted
+	// when the failure came from the cache layer.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("Health(%d)", int(h))
 }
 
 // ElasticConfig parameterizes the contention-proportional resize policy of
@@ -264,6 +333,12 @@ var (
 	// identically on every backend; Heartbeat and SweepStale report zero
 	// work instead (their contracts are counts, not errors).
 	ErrClosed = errors.New("shmrename: arena closed")
+	// ErrCorrupted reports that the arena detected state damage it cannot
+	// vouch for — a lease-cache conservation violation surfaced through
+	// ArenaConfig.Integrity. The error is sticky: once raised, every later
+	// Acquire/AcquireN/Release/ReleaseAll returns it (wrapping the original
+	// violation description), and Health reports Failed. Rebuild the arena.
+	ErrCorrupted = errors.New("shmrename: arena corrupted")
 )
 
 // acquirePasses bounds native Acquire passes before ErrArenaFull: each
@@ -295,6 +370,12 @@ type Arena struct {
 	stopReaper func()
 	closer     func() error // extra teardown (mmap-backed arenas)
 	closed     atomic.Bool
+	// Self-healing state; all nil when ArenaConfig.Integrity is nil.
+	scrubber  *integrity.Scrubber
+	stopScrub func()
+	// corrupted latches the first conservation-violation description: the
+	// sticky ErrCorrupted source checked by every mutating operation.
+	corrupted atomic.Pointer[string]
 	// Cumulative operation statistics; see Stats. Acquire/release counts
 	// are striped so the counter update cannot become the shared-memory
 	// operation the lease-cache fast path just eliminated.
@@ -378,6 +459,16 @@ type ArenaStats struct {
 	// arenas, fixed and elastic) — the memory-proportionality proxy
 	// BENCH_6.json records. 0 for backends without a footprint report.
 	ResidentBytes int64
+	// ScrubPasses counts completed integrity scrub passes (Scrub calls and
+	// background ticks). Always 0 with Integrity off.
+	ScrubPasses int64
+	// Repaired counts names the scrubber repaired across all passes:
+	// adopted orphan bits, dropped residual stamps, purged phantom cache
+	// entries, re-seized quarantine bits. Always 0 with Integrity off.
+	Repaired int64
+	// Quarantined counts names the scrubber withdrew from circulation
+	// across all passes. Always 0 with Integrity off.
+	Quarantined int64
 }
 
 // Stats returns a snapshot of the arena's cumulative operation counters.
@@ -404,6 +495,12 @@ func (a *Arena) Stats() ArenaStats {
 		c := a.sweeper.Counters()
 		st.Sweeps = int64(c.Sweeps)
 		st.Reclaimed = int64(c.Reclaimed)
+	}
+	if a.scrubber != nil {
+		c := a.scrubber.Counters()
+		st.ScrubPasses = int64(c.Passes)
+		st.Repaired = int64(c.Repaired)
+		st.Quarantined = int64(c.Quarantined)
 	}
 	return st
 }
@@ -444,6 +541,14 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 		if cfg.StealProbes != 0 {
 			return nil, fmt.Errorf("shmrename: ArenaConfig.StealProbes is only meaningful with the %q backend, got StealProbes=%d with backend %q",
 				ArenaBackendSharded, cfg.StealProbes, cfg.Backend)
+		}
+	}
+	if cfg.Integrity != nil {
+		if err := cfg.Integrity.validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Lease == nil {
+			return nil, errors.New("shmrename: ArenaConfig.Integrity requires ArenaConfig.Lease (the scrubber verifies the lease stamps)")
 		}
 	}
 	// The elastic policy resolves its growth ceiling up front: the ladder
@@ -606,8 +711,35 @@ func NewArena(cfg ArenaConfig) (*Arena, error) {
 				Epochs: shm.WallEpochs{},
 				Alive:  cfg.Lease.Alive,
 			}), cfg.Lease.Reaper)
+		if cfg.Integrity != nil {
+			a.initIntegrity(cfg.Integrity, cfg.Lease.ttlEpochs(), shm.WallEpochs{})
+		}
 	}
 	return a, nil
+}
+
+// initIntegrity wires the self-healing layer over the (already wired)
+// recovery state: the scrubber, the cache cross-checks, the cache's
+// corruption handler (panics become the sticky ErrCorrupted), and the
+// background scrub loop when requested.
+func (a *Arena) initIntegrity(cfg *IntegrityConfig, ttl uint64, ep shm.EpochSource) {
+	icfg := integrity.Config{
+		Epochs:     ep,
+		TTL:        ttl,
+		Quarantine: cfg.Quarantine,
+	}
+	if a.cache != nil {
+		icfg.Parked = a.cache.Parked
+		icfg.Purge = a.cache.PurgeParked
+		a.cache.SetOnCorruption(func(msg string) {
+			m := msg
+			a.corrupted.CompareAndSwap(nil, &m)
+		})
+	}
+	a.scrubber = integrity.NewScrubber(a.rec, icfg)
+	if cfg.ScrubInterval > 0 {
+		a.stopScrub = a.scrubber.Run(a.proc(), cfg.ScrubInterval)
+	}
 }
 
 // initLease wires the crash-recovery state and starts the background
@@ -632,8 +764,18 @@ func (a *Arena) proc() *shm.Proc {
 	return shm.NewProc(id, prng.NewStream(a.seed, id), nil, 0)
 }
 
-// Capacity returns the guaranteed concurrent-holder count.
-func (a *Arena) Capacity() int { return a.impl.Capacity() }
+// Capacity returns the guaranteed concurrent-holder count. On an arena
+// with the integrity layer enabled, quarantined names are subtracted: a
+// Degraded arena advertises the capacity it can actually serve.
+func (a *Arena) Capacity() int {
+	c := a.impl.Capacity()
+	if a.scrubber != nil {
+		if c -= a.scrubber.QuarantinedNames(); c < 0 {
+			c = 0
+		}
+	}
+	return c
+}
 
 // NameBound bounds issued names: they lie in [0, NameBound).
 func (a *Arena) NameBound() int { return a.impl.NameBound() }
@@ -656,6 +798,9 @@ func (a *Arena) Backend() string { return a.impl.Label() }
 func (a *Arena) Acquire() (int, error) {
 	if a.closed.Load() {
 		return -1, fmt.Errorf("%w: Acquire", ErrClosed)
+	}
+	if err := a.corruptErr(); err != nil {
+		return -1, err
 	}
 	p := a.proc()
 	lane := p.ID()
@@ -682,6 +827,9 @@ func (a *Arena) Acquire() (int, error) {
 func (a *Arena) AcquireN(k int) ([]int, error) {
 	if a.closed.Load() {
 		return nil, fmt.Errorf("%w: AcquireN", ErrClosed)
+	}
+	if err := a.corruptErr(); err != nil {
+		return nil, err
 	}
 	if k < 1 || k > a.impl.Capacity() {
 		return nil, fmt.Errorf("shmrename: AcquireN batch size %d must lie in [1, Capacity=%d]",
@@ -711,6 +859,9 @@ func (a *Arena) AcquireN(k int) ([]int, error) {
 func (a *Arena) Release(name int) error {
 	if a.closed.Load() {
 		return fmt.Errorf("%w: Release", ErrClosed)
+	}
+	if err := a.corruptErr(); err != nil {
+		return err
 	}
 	if err := a.releasable(name); err != nil {
 		return err
@@ -749,6 +900,9 @@ func (a *Arena) releasable(name int) error {
 func (a *Arena) ReleaseAll(names []int) error {
 	if a.closed.Load() {
 		return fmt.Errorf("%w: ReleaseAll", ErrClosed)
+	}
+	if err := a.corruptErr(); err != nil {
+		return err
 	}
 	var errs []error
 	valid := make([]int, 0, len(names))
@@ -825,6 +979,71 @@ func (a *Arena) SweepStale() int {
 	return res.Reclaimed + res.Resumed
 }
 
+// corruptErr returns the sticky corruption error, nil while healthy.
+func (a *Arena) corruptErr() error {
+	if msg := a.corrupted.Load(); msg != nil {
+		return fmt.Errorf("%w: %s", ErrCorrupted, *msg)
+	}
+	return nil
+}
+
+// Health reports the arena's integrity state: Failed when damage was
+// detected but not contained (a lease-cache conservation violation — see
+// ErrCorrupted — or an integrity violation the scrubber could not
+// quarantine), Degraded when damage was contained by quarantining names
+// (the arena is safe but serves less than its configured capacity), and
+// Healthy otherwise. Arenas without ArenaConfig.Integrity always report
+// Healthy. The verdict reflects the most recent scrub pass; run Scrub (or
+// configure IntegrityConfig.ScrubInterval) to keep it current.
+func (a *Arena) Health() Health {
+	if a.corrupted.Load() != nil {
+		return Failed
+	}
+	if a.scrubber == nil {
+		return Healthy
+	}
+	if a.scrubber.Unrepaired() > 0 {
+		return Failed
+	}
+	if a.scrubber.QuarantinedNames() > 0 {
+		return Degraded
+	}
+	return Healthy
+}
+
+// ScrubResult reports what one integrity scrub pass found and did; see
+// Arena.Scrub.
+type ScrubResult struct {
+	// Scanned is the number of names examined.
+	Scanned int
+	// Repaired counts repaired damage: adopted orphan bits, dropped
+	// residual stamps, purged phantom cache entries, re-seized quarantine
+	// bits.
+	Repaired int
+	// Quarantined counts names newly withdrawn from circulation this pass.
+	Quarantined int
+	// Unrepaired counts violations detected but not contained; the arena's
+	// Health is Failed while any stand.
+	Unrepaired int
+}
+
+// Scrub runs one integrity pass over the arena: every name is checked
+// against the conservation invariant (free, parked, or granted — never two
+// at once), repairable damage is repaired, and — with
+// IntegrityConfig.Quarantine — irreparably damaged bitmap words are
+// withdrawn from circulation. Safe at any time, from any goroutine,
+// concurrently with churn, the reaper, and other scrubs. With Integrity
+// off (or after Close) it does nothing and returns a zero result.
+func (a *Arena) Scrub() ScrubResult {
+	if a.scrubber == nil || a.closed.Load() {
+		return ScrubResult{}
+	}
+	p := a.proc()
+	res := a.scrubber.Scrub(p)
+	a.procs.Put(p)
+	return ScrubResult(res)
+}
+
 // Close releases the arena's background resources: it flushes any
 // word-block lease caches (parked names return to the pool), stops the
 // lease reaper (waiting out an in-flight sweep) and, for mmap-backed arenas,
@@ -847,6 +1066,9 @@ func (a *Arena) Close() error {
 	}
 	if a.stopReaper != nil {
 		a.stopReaper()
+	}
+	if a.stopScrub != nil {
+		a.stopScrub()
 	}
 	if a.closer != nil {
 		return a.closer()

@@ -1,0 +1,55 @@
+package shmrename
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff bounds for AcquireCtx: exponential from acquireBackoffBase to
+// acquireBackoffCap, with ±50% jitter so a herd of blocked acquirers does
+// not retry in lockstep against the same full scans.
+const (
+	acquireBackoffBase = 50 * time.Microsecond
+	acquireBackoffCap  = 10 * time.Millisecond
+)
+
+// AcquireCtx claims a name like Acquire, but treats ErrArenaFull as
+// backpressure instead of an error: it retries with bounded exponential
+// backoff (jittered, capped at a few milliseconds per wait) until a slot
+// frees up or the context ends. This is the right call under transient
+// over-subscription — capacity pressure, quarantine-reduced capacity on a
+// Degraded arena, churn racing the scans — where the caller can afford to
+// wait for a release.
+//
+// Errors other than arena-full (ErrClosed, the sticky ErrCorrupted) are
+// returned immediately: waiting cannot fix them. When the context ends
+// first, the returned error wraps both the context's error and
+// ErrArenaFull, so errors.Is works against either cause. As with Acquire,
+// the returned name is -1 on any error.
+func (a *Arena) AcquireCtx(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return -1, fmt.Errorf("shmrename: AcquireCtx: %w", err)
+	}
+	backoff := acquireBackoffBase
+	for {
+		name, err := a.Acquire()
+		if err == nil || !errors.Is(err, ErrArenaFull) {
+			return name, err
+		}
+		// Full: wait out roughly one backoff step, jittered to ±50%.
+		d := backoff/2 + rand.N(backoff)
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return -1, fmt.Errorf("shmrename: AcquireCtx: %w while %w", ctx.Err(), ErrArenaFull)
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > acquireBackoffCap {
+			backoff = acquireBackoffCap
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+
+	"shmrename/internal/harness"
+)
+
+// runChaos is the CI chaos gate behind -chaos: it runs the E21 corruption
+// matrix (and, on unix, the namespace-file chaos rows), prints the report
+// tables, and writes the machine-readable accounting JSON to path — the
+// artifact the chaos job uploads, so containment regressions diff as
+// numbers rather than only failing assertions.
+func runChaos(path string, seed uint64, trials int) error {
+	rep, tables := harness.RunChaos(harness.Config{Seed: seed, Trials: trials})
+	for _, tab := range tables {
+		fmt.Println(tab.Render())
+	}
+	for _, cell := range rep.Cells {
+		if cell.Unrepaired != 0 || cell.DuplicateGrants != 0 || !cell.ScrubIdle {
+			return fmt.Errorf("chaos gate: backend %s n=%d unrepaired=%d duplicates=%d idle=%v",
+				cell.Backend, cell.Capacity, cell.Unrepaired, cell.DuplicateGrants, cell.ScrubIdle)
+		}
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		return err
+	}
+	return nil
+}

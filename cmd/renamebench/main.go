@@ -1,5 +1,5 @@
 // Command renamebench regenerates the paper-reproduction experiments
-// E1-E20 (see ALGORITHMS.md §6) and prints their report
+// E1-E21 (see ALGORITHMS.md §6) and prints their report
 // tables.
 //
 // Usage:
@@ -50,6 +50,7 @@ func main() {
 		bench6C = flag.Int("bench6-cap", 4096, "arena capacity for the -bench6 diurnal sweep (power of two >= 1024)")
 		bench6A = flag.String("bench6-against", "", "baseline BENCH_6.json to compare -bench6 results against; exits nonzero on steps/acquire or storm-p99 regression")
 		recov   = flag.Bool("recovery-smoke", false, "run the native crash-recovery smoke (abandoned-lease reclaim on every backend + mmap reattach) and exit")
+		chaosO  = flag.String("chaos", "", "run the E21 chaos matrix and write the accounting JSON to this path")
 	)
 	flag.Parse()
 
@@ -59,6 +60,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("recovery smoke passed")
+		return
+	}
+
+	if *chaosO != "" {
+		if err := runChaos(*chaosO, *seed, *trials); err != nil {
+			fmt.Fprintf(os.Stderr, "renamebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos accounting written to %s\n", *chaosO)
 		return
 	}
 

@@ -72,7 +72,7 @@ func TestDocsNameRealExperiments(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := string(data)
-	const known = 20 // E1..E20, matching harness.All()
+	const known = 21 // E1..E21, matching harness.All()
 	mentioned := make(map[int]bool)
 	for _, m := range expID.FindAllStringSubmatch(text, -1) {
 		n, err := strconv.Atoi(m[1])
@@ -93,7 +93,7 @@ func TestDocsNameRealExperiments(t *testing.T) {
 		"internal/sched", "internal/sharded", "internal/core",
 		"internal/recovery", "internal/persist", "internal/leasecache",
 		"internal/registry", "internal/registry/conformance",
-		"internal/exclusive"} {
+		"internal/exclusive", "internal/integrity", "internal/chaos"} {
 		if !strings.Contains(text, ref) {
 			t.Errorf("ALGORITHMS.md missing package reference %s", ref)
 		}

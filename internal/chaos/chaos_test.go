@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+func testArena(t *testing.T) (longlived.Recoverable, shm.EpochSource) {
+	t.Helper()
+	ep := shm.NewCounterEpochs(1)
+	a := longlived.NewLevel(128, longlived.LevelConfig{
+		MaxPasses: 8,
+		Lease:     &longlived.LeaseOpts{Epochs: ep},
+	})
+	return a, ep
+}
+
+func proc(id int) *shm.Proc { return shm.NewProc(id, prng.NewStream(3, id), nil, 0) }
+
+func TestInjectorShapes(t *testing.T) {
+	a, ep := testArena(t)
+	p := proc(1)
+	held := a.AcquireN(p, 8, nil)
+	if len(held) != 8 {
+		t.Fatalf("acquired %d of 8", len(held))
+	}
+	in := NewInjector(a, 7)
+
+	inj, ok := in.GarbageStamp(ep.Now())
+	if !ok {
+		t.Fatal("no free victim on a mostly-empty arena")
+	}
+	d, local, found := Locate(a, inj.Name)
+	if !found {
+		t.Fatalf("injected name %d outside every domain", inj.Name)
+	}
+	if h, _ := shm.UnpackStamp(d.Stamps.Load(local)); h == 0 || d.IsHeld(local) {
+		t.Fatalf("garbage stamp left no client stamp over a clear bit (holder %d held %v)", h, d.IsHeld(local))
+	}
+
+	victim := held[0]
+	inj = in.ClearBit(p, victim)
+	d, local, _ = Locate(a, inj.Name)
+	if d.IsHeld(local) {
+		t.Fatalf("clear-bit victim %d still held", victim)
+	}
+	if h, _ := shm.UnpackStamp(d.Stamps.Load(local)); h == 0 {
+		t.Fatal("clear-bit retired the stamp too — that is a release, not a corruption")
+	}
+
+	inj, ok = in.SetBit(proc(2))
+	if !ok {
+		t.Fatal("set-bit found no free victim")
+	}
+	d, local, _ = Locate(a, inj.Name)
+	if !d.IsHeld(local) || d.Stamps.Load(local) != 0 {
+		t.Fatal("set-bit must leave a bare claim bit with no stamp")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() []int {
+		a, ep := testArena(t)
+		in := NewInjector(a, 99)
+		var names []int
+		for i := 0; i < 5; i++ {
+			inj, ok := in.GarbageStamp(ep.Now())
+			if !ok {
+				t.Fatal("ran out of victims")
+			}
+			names = append(names, inj.Name)
+		}
+		return names
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("victim sequence diverged at %d: %v vs %v", i, first, second)
+		}
+	}
+}
+
+func TestClearBitRejectsFreeName(t *testing.T) {
+	a, _ := testArena(t)
+	in := NewInjector(a, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClearBit accepted a free victim")
+		}
+	}()
+	in.ClearBit(proc(1), 0)
+}
+
+func TestReportWriteJSON(t *testing.T) {
+	rep := &Report{Seed: 1, Trials: 2, Cells: []Cell{{
+		Backend: "x", Capacity: 4, Injected: map[string]int{"clear-bit": 1}, ScrubIdle: true,
+	}}}
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}

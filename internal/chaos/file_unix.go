@@ -1,0 +1,40 @@
+//go:build unix
+
+package chaos
+
+import (
+	"fmt"
+	"os"
+)
+
+// FlipFileBit flips one bit of the file at path: bit (0-7) of the byte at
+// offset off. The on-disk signature of a torn write or a medium fault —
+// applied to a namespace superblock it must make persist.Open refuse the
+// file; applied to a bitmap or stamp page it must be contained by the
+// integrity scrubber after attach.
+func FlipFileBit(path string, off int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("chaos: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return fmt.Errorf("chaos: read %s@%d: %w", path, off, err)
+	}
+	b[0] ^= 1 << (bit & 7)
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("chaos: write %s@%d: %w", path, off, err)
+	}
+	return nil
+}
+
+// TruncateFile cuts the file at path down to size bytes: the signature of
+// a crashed external copy or an exhausted quota. persist.Open must reject
+// the remnant with a descriptive error before any mapped page is touched.
+func TruncateFile(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("chaos: truncate %s: %w", path, err)
+	}
+	return nil
+}

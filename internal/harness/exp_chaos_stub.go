@@ -1,0 +1,9 @@
+//go:build !unix
+
+package harness
+
+import "shmrename/internal/metrics"
+
+// e21FileTable is the on-disk half of E21; mmap-backed namespace files are
+// unix-only, so other platforms run the in-process matrix alone.
+func e21FileTable(Config) *metrics.Table { return nil }

@@ -1,7 +1,7 @@
-// Package harness defines the experiment suite E1-E20: one reproducible
+// Package harness defines the experiment suite E1-E21: one reproducible
 // experiment per quantitative claim of the paper plus the repository's
 // extensions (long-lived churn, the sharded multicore frontend, crash
-// recovery, elastic residency); see
+// recovery, elastic residency, chaos-injected self-healing); see
 // ALGORITHMS.md §6 for the index. Each experiment sweeps its parameters
 // over seeded trials, verifies correctness of every execution, and emits
 // report tables consumed by cmd/renamebench.
@@ -64,7 +64,7 @@ func All() []Experiment {
 		expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
 		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(),
 		expE13(), expE14(), expE15(), expE16(), expE17(), expE18(),
-		expE19(), expE20(),
+		expE19(), expE20(), expE21(),
 	}
 }
 

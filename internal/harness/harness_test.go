@@ -11,7 +11,7 @@ import (
 func tiny() Config { return Config{Trials: 2, Seed: 11} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -585,6 +585,33 @@ func TestE14SimNativeAgree(t *testing.T) {
 		// Same magnitude: native p50 within 4x of simulated p50 either way.
 		if ratio < 0.25 || ratio > 4 {
 			t.Fatalf("E14 sim/native diverge: %v", row)
+		}
+	}
+}
+
+func TestE21ChaosInvariants(t *testing.T) {
+	tabs := checkTables(t, "E21")
+	for _, row := range tabs[0].Rows {
+		if row[7] != "0" {
+			t.Fatalf("E21 row left violations standing: %v", row)
+		}
+	}
+	// The accounting report carries the same gates as the table, in a form
+	// CI can diff: no violation standing, no duplicate ever, scrub a fixed
+	// point, drain at or above the floor, and corruption actually injected.
+	rep, _ := RunChaos(tiny())
+	if len(rep.Cells) == 0 {
+		t.Fatal("chaos report has no cells")
+	}
+	for _, c := range rep.Cells {
+		if c.Unrepaired != 0 || c.DuplicateGrants != 0 || !c.ScrubIdle {
+			t.Fatalf("chaos cell failed its gates: %+v", c)
+		}
+		if c.Drained < c.Floor {
+			t.Fatalf("chaos cell drained %d below floor %d: %+v", c.Drained, c.Floor, c)
+		}
+		if len(c.Injected) == 0 {
+			t.Fatalf("chaos cell injected nothing: %+v", c)
 		}
 	}
 }

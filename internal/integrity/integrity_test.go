@@ -1,0 +1,361 @@
+package integrity
+
+import (
+	"testing"
+	"time"
+
+	"shmrename/internal/longlived"
+	"shmrename/internal/prng"
+	"shmrename/internal/shm"
+)
+
+func nativeProc(id int) *shm.Proc {
+	return shm.NewProc(id, prng.NewStream(41, id), nil, 1<<22)
+}
+
+// leasedLevel builds a lease-enabled level arena plus its scrubber clock.
+func leasedLevel(t *testing.T, capacity int) (*longlived.LevelArena, *shm.CounterEpochs) {
+	t.Helper()
+	ep := shm.NewCounterEpochs(1)
+	a := longlived.NewLevel(capacity, longlived.LevelConfig{
+		MaxPasses: 8,
+		Lease:     &longlived.LeaseOpts{Epochs: ep},
+	})
+	return a, ep
+}
+
+func scrubber(a longlived.Recoverable, ep shm.EpochSource, quarantine bool) *Scrubber {
+	return NewScrubber(a, Config{Epochs: ep, TTL: 2, Quarantine: quarantine})
+}
+
+// domainFor locates the lease domain covering global name g.
+func domainFor(t *testing.T, a longlived.Recoverable, g int) (longlived.LeaseDomain, int) {
+	t.Helper()
+	for _, d := range a.LeaseDomains() {
+		if g >= d.Base && g < d.Base+d.Stamps.Size() {
+			return d, g - d.Base
+		}
+	}
+	t.Fatalf("no lease domain covers name %d", g)
+	return longlived.LeaseDomain{}, 0
+}
+
+// TestScrubCleanArenaIsIdle: a healthy arena under normal traffic yields a
+// scrub pass with zero repairs, zero quarantines, zero violations.
+func TestScrubCleanArenaIsIdle(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	p := nativeProc(1)
+	var names []int
+	for range 40 {
+		n := a.Acquire(p)
+		if n < 0 {
+			t.Fatal("acquire failed")
+		}
+		names = append(names, n)
+	}
+	for _, n := range names[:20] {
+		a.Release(p, n)
+	}
+	s := scrubber(a, ep, true)
+	res := s.Scrub(nativeProc(900))
+	if res.Repaired != 0 || res.Quarantined != 0 || res.Unrepaired != 0 {
+		t.Fatalf("clean arena scrub not idle: %+v", res)
+	}
+	if res.Scanned == 0 {
+		t.Fatal("scrub scanned nothing")
+	}
+	if s.QuarantinedNames() != 0 || s.Unrepaired() != 0 {
+		t.Fatalf("clean arena reports quarantine=%d unrepaired=%d",
+			s.QuarantinedNames(), s.Unrepaired())
+	}
+}
+
+// TestScrubAdoptsOrphanBit: a claim bit with a zero stamp (holder crashed
+// pre-publish) is adopted, mirroring the recovery sweep.
+func TestScrubAdoptsOrphanBit(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	p := nativeProc(1)
+	n := a.Acquire(p)
+	d, i := domainFor(t, a, n)
+	d.Stamps.Inject(i, 0) // simulate crash between bit win and publish
+	s := scrubber(a, ep, true)
+	res := s.Scrub(nativeProc(900))
+	if res.Repaired != 1 {
+		t.Fatalf("expected 1 repair (adoption), got %+v", res)
+	}
+	if h, _ := shm.UnpackStamp(d.Stamps.Load(i)); h != shm.HolderOrphan {
+		t.Fatalf("stamp not adopted: holder %d", h)
+	}
+	if res.Quarantined != 0 || res.Unrepaired != 0 {
+		t.Fatalf("adoption misclassified: %+v", res)
+	}
+}
+
+// TestScrubDropsStaleResidue: stale orphan/tombstone stamps on free names
+// are garbage-collected; fresh ones are left to recovery.
+func TestScrubDropsStaleResidue(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	d := a.LeaseDomains()[0]
+	d.Stamps.Inject(0, shm.PackStamp(shm.HolderTomb, 1))
+	d.Stamps.Inject(1, shm.PackStamp(shm.HolderOrphan, 1))
+	d.Stamps.Inject(2, shm.PackStamp(shm.HolderTomb, 100)) // fresh
+	ep.Advance(10)
+	s := scrubber(a, ep, true)
+	res := s.Scrub(nativeProc(900))
+	if res.Repaired != 2 {
+		t.Fatalf("expected 2 residue drops, got %+v", res)
+	}
+	if d.Stamps.Load(0) != 0 || d.Stamps.Load(1) != 0 {
+		t.Fatal("stale residue not dropped")
+	}
+	if d.Stamps.Load(2) == 0 {
+		t.Fatal("fresh tombstone dropped: recovery's grace period violated")
+	}
+}
+
+// TestScrubQuarantinesViolation: a live client stamp over a clear claim bit
+// — impossible in any legal execution — quarantines the whole word: every
+// free name seized and quarantine-stamped, no name of the word grantable,
+// capacity debited.
+func TestScrubQuarantinesViolation(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	p := nativeProc(1)
+	held := a.Acquire(p) // a live holder inside the word to be quarantined
+	d, hi := domainFor(t, a, held)
+	// Plant the violation on a free name of the same domain word.
+	vi := -1
+	for i := hi / 64 * 64; i < (hi/64+1)*64 && i < d.Stamps.Size(); i++ {
+		if i != hi && !d.IsHeld(i) {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		t.Skip("word has no free name to corrupt")
+	}
+	d.Stamps.Inject(vi, shm.PackStamp(77, ep.Now()))
+
+	s := scrubber(a, ep, true)
+	res := s.Scrub(nativeProc(900))
+	if res.Quarantined == 0 {
+		t.Fatalf("violation not quarantined: %+v", res)
+	}
+	if res.Unrepaired != 0 {
+		t.Fatalf("quarantine left violations standing: %+v", res)
+	}
+	// The violating name is now quarantine-stamped with its bit seized.
+	if h, _ := shm.UnpackStamp(d.Stamps.Load(vi)); h != shm.HolderQuarantine {
+		t.Fatalf("violating name not quarantine-stamped: holder %d", h)
+	}
+	if !d.IsHeld(vi) {
+		t.Fatal("quarantined name's bit not seized")
+	}
+	// The live holder of the same word is untouched.
+	if h, _ := shm.UnpackStamp(d.Stamps.Load(hi)); h != 1%shm.MaxHolder+1 {
+		t.Fatalf("live holder's stamp disturbed: %d", h)
+	}
+	if s.QuarantinedNames() != res.Quarantined {
+		t.Fatalf("quarantine total %d != pass result %d", s.QuarantinedNames(), res.Quarantined)
+	}
+
+	// No quarantined name is ever granted again: drain the arena and check.
+	got := map[int]bool{}
+	pq := nativeProc(2)
+	for {
+		n := a.Acquire(pq)
+		if n < 0 {
+			break
+		}
+		if got[n] {
+			t.Fatalf("duplicate grant of %d", n)
+		}
+		got[n] = true
+		if h, _ := shm.UnpackStamp(func() uint64 { dd, ii := domainFor(t, a, n); return dd.Stamps.Load(ii) }()); h == shm.HolderQuarantine {
+			t.Fatalf("granted quarantined name %d", n)
+		}
+	}
+	for q := d.Base + vi/64*64; q < d.Base+vi/64*64+64 && q < d.Base+d.Stamps.Size(); q++ {
+		if q != held && got[q] {
+			t.Fatalf("granted name %d of quarantined word", q)
+		}
+	}
+}
+
+// TestScrubAbsorbsReleasedHolder: a live holder inside a quarantined word
+// keeps its name; once it releases, the next scrub absorbs the name into
+// the quarantine instead of returning it to circulation.
+func TestScrubAbsorbsReleasedHolder(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	p := nativeProc(1)
+	held := a.Acquire(p)
+	d, hi := domainFor(t, a, held)
+	vi := -1
+	for i := hi / 64 * 64; i < (hi/64+1)*64 && i < d.Stamps.Size(); i++ {
+		if i != hi && !d.IsHeld(i) {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		t.Skip("word has no free name to corrupt")
+	}
+	d.Stamps.Inject(vi, shm.PackStamp(77, ep.Now()))
+	s := scrubber(a, ep, true)
+	first := s.Scrub(nativeProc(900))
+	if first.Quarantined == 0 {
+		t.Fatalf("no quarantine: %+v", first)
+	}
+	before := s.QuarantinedNames()
+
+	a.Release(p, held) // live holder departs the damaged word
+	second := s.Scrub(nativeProc(900))
+	if second.Quarantined != 1 {
+		t.Fatalf("released name not absorbed: %+v", second)
+	}
+	if h, _ := shm.UnpackStamp(d.Stamps.Load(hi)); h != shm.HolderQuarantine {
+		t.Fatalf("released name not quarantine-stamped: holder %d", h)
+	}
+	if s.QuarantinedNames() != before+1 {
+		t.Fatalf("quarantine total %d, want %d", s.QuarantinedNames(), before+1)
+	}
+
+	// Third pass over stable damage is idle.
+	third := s.Scrub(nativeProc(900))
+	if third.Repaired != 0 || third.Quarantined != 0 || third.Unrepaired != 0 {
+		t.Fatalf("third scrub not idle: %+v", third)
+	}
+}
+
+// TestScrubQuarantineDisabled: with Quarantine off the violation is
+// detected and reported but not contained.
+func TestScrubQuarantineDisabled(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	d := a.LeaseDomains()[0]
+	d.Stamps.Inject(3, shm.PackStamp(77, ep.Now()))
+	s := scrubber(a, ep, false)
+	res := s.Scrub(nativeProc(900))
+	if res.Unrepaired != 1 || res.Quarantined != 0 {
+		t.Fatalf("disabled quarantine: %+v", res)
+	}
+	if s.Unrepaired() != 1 {
+		t.Fatalf("Unrepaired()=%d, want 1", s.Unrepaired())
+	}
+	if h, _ := shm.UnpackStamp(d.Stamps.Load(3)); h != 77 {
+		t.Fatal("stamp touched despite quarantine off")
+	}
+}
+
+// TestScrubFutureEpoch: a stamp dated implausibly far in the future is a
+// violation (the lease would never expire) when MaxEpochAhead is set.
+func TestScrubFutureEpoch(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	p := nativeProc(1)
+	n := a.Acquire(p)
+	d, i := domainFor(t, a, n)
+	h, _ := shm.UnpackStamp(d.Stamps.Load(i))
+	d.Stamps.Inject(i, shm.PackStamp(h, ep.Now()+1_000_000))
+	s := NewScrubber(a, Config{Epochs: ep, TTL: 2, Quarantine: true, MaxEpochAhead: 1000})
+	res := s.Scrub(nativeProc(900))
+	if res.Quarantined == 0 {
+		t.Fatalf("future-dated stamp not quarantined: %+v", res)
+	}
+	// Without MaxEpochAhead the same state passes (wall-clock tolerance).
+	a2, ep2 := leasedLevel(t, 128)
+	p2 := nativeProc(1)
+	n2 := a2.Acquire(p2)
+	d2, i2 := domainFor(t, a2, n2)
+	h2, _ := shm.UnpackStamp(d2.Stamps.Load(i2))
+	d2.Stamps.Inject(i2, shm.PackStamp(h2, ep2.Now()+1_000_000))
+	s2 := scrubber(a2, ep2, true)
+	if res2 := s2.Scrub(nativeProc(900)); res2.Quarantined != 0 || res2.Unrepaired != 0 {
+		t.Fatalf("future epoch flagged with check disabled: %+v", res2)
+	}
+}
+
+// TestScrubReseizesLostQuarantineBit: further corruption clearing a
+// quarantined name's claim bit is repaired — the bit is re-seized, the
+// name stays out of circulation.
+func TestScrubReseizesLostQuarantineBit(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	d := a.LeaseDomains()[0]
+	d.Stamps.Inject(5, shm.PackStamp(77, ep.Now()))
+	s := scrubber(a, ep, true)
+	s.Scrub(nativeProc(900))
+	if !d.IsHeld(5) {
+		t.Fatal("setup: name 5 not quarantined")
+	}
+	d.Reclaim(nativeProc(901), 5) // corrupt: clear the quarantined bit
+	res := s.Scrub(nativeProc(900))
+	if res.Repaired == 0 {
+		t.Fatalf("lost quarantine bit not re-seized: %+v", res)
+	}
+	if !d.IsHeld(5) {
+		t.Fatal("bit still clear after scrub")
+	}
+}
+
+// TestScrubPhantomParked: a parked name whose inner claim bit is clear is
+// purged from the cache before it can be granted without a backing claim.
+func TestScrubPhantomParked(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	phantom := map[int]bool{9: true}
+	purged := 0
+	s := NewScrubber(a, Config{
+		Epochs:     ep,
+		TTL:        2,
+		Quarantine: true,
+		Parked:     func(name int) bool { return phantom[name] },
+		Purge: func(name int) bool {
+			if phantom[name] {
+				delete(phantom, name)
+				purged++
+				return true
+			}
+			return false
+		},
+	})
+	res := s.Scrub(nativeProc(900))
+	if purged != 1 || res.Repaired != 1 {
+		t.Fatalf("phantom parked not purged: purged=%d %+v", purged, res)
+	}
+	if res.Quarantined != 0 || res.Unrepaired != 0 {
+		t.Fatalf("phantom purge misclassified: %+v", res)
+	}
+}
+
+// TestScrubCounters: cumulative counters add up across passes.
+func TestScrubCounters(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	d := a.LeaseDomains()[0]
+	d.Stamps.Inject(7, shm.PackStamp(77, ep.Now()))
+	s := scrubber(a, ep, true)
+	r1 := s.Scrub(nativeProc(900))
+	s.Scrub(nativeProc(900))
+	c := s.Counters()
+	if c.Passes != 2 {
+		t.Fatalf("passes=%d, want 2", c.Passes)
+	}
+	if c.Quarantined != uint64(r1.Quarantined) {
+		t.Fatalf("cumulative quarantined %d != %d", c.Quarantined, r1.Quarantined)
+	}
+}
+
+// TestScrubRunBackground: the background loop scrubs and stops cleanly;
+// stop is idempotent.
+func TestScrubRunBackground(t *testing.T) {
+	a, ep := leasedLevel(t, 128)
+	s := scrubber(a, ep, true)
+	stop := s.Run(nativeProc(900), time.Millisecond)
+	for range 100 {
+		if s.Counters().Passes > 0 {
+			break
+		}
+		ep.Advance(1)
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop()
+	if s.Counters().Passes == 0 {
+		t.Fatal("background loop never scrubbed")
+	}
+}

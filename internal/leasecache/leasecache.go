@@ -123,6 +123,15 @@ type Cache struct {
 	refills atomic.Int64
 	spills  atomic.Int64
 	steals  atomic.Int64
+	// failed latches when a conservation violation was detected with a
+	// corruption handler installed: every subsequent operation bypasses the
+	// cache and goes straight to the inner arena (the frozen stacks keep
+	// their claims — leaking names is the fail-safe direction; granting a
+	// name in unknown state could duplicate it).
+	failed atomic.Bool
+	// onCorrupt, when set, receives the violation description instead of a
+	// panic (except under the race detector; see strictConservation).
+	onCorrupt atomic.Pointer[func(string)]
 }
 
 var _ longlived.Arena = (*Cache)(nil)
@@ -150,25 +159,68 @@ func (c *Cache) draining(name int) bool {
 	return c.drain != nil && c.drain.Draining(name)
 }
 
-// mark flags name as parked. Double-parking a name would eventually grant
-// it twice, so a set bit is a conservation violation and panics. The bit
-// flip goes through setBit — the Or intrinsic on toolchains where it
-// compiles correctly, a load+CAS loop elsewhere (see bits_fast.go).
-func (c *Cache) mark(name int) {
-	w, bit := &c.cached[name>>6], uint64(1)<<(uint(name)&63)
-	if setBit(w, bit)&bit != 0 {
-		panic(fmt.Sprintf("leasecache: name %d cached twice", name))
+// SetOnCorruption installs a handler receiving conservation-violation
+// descriptions. With a handler installed, a violation fails the cache into
+// pass-through mode (Failed reports true, every later operation bypasses
+// the stacks) instead of panicking — except under the race detector, where
+// violations always panic at the point of detection (strictConservation).
+// The handler is invoked at most once, from whichever operation first
+// detects damage. Safe to call at any time; nil restores panicking.
+func (c *Cache) SetOnCorruption(fn func(msg string)) {
+	if fn == nil {
+		c.onCorrupt.Store(nil)
+		return
 	}
-	c.nCached.Add(1)
+	c.onCorrupt.Store(&fn)
 }
 
-// unmark clears name's parked bit on its way out of a slot stack.
-func (c *Cache) unmark(name int) {
+// Failed reports whether a conservation violation latched the cache into
+// pass-through mode.
+func (c *Cache) Failed() bool { return c.failed.Load() }
+
+// fail handles a detected conservation violation: panic without a handler
+// or under the race detector, otherwise latch pass-through mode and notify
+// the handler (once).
+func (c *Cache) fail(msg string) {
+	h := c.onCorrupt.Load()
+	if strictConservation || h == nil {
+		panic(msg)
+	}
+	if !c.failed.Swap(true) {
+		(*h)(msg)
+	}
+}
+
+// mark flags name as parked, reporting success. Double-parking a name
+// would eventually grant it twice, so a set bit is a conservation
+// violation: it panics, or — with a corruption handler installed — fails
+// the cache and returns false (the caller routes the name around the
+// stacks). The bit flip goes through setBit — the Or intrinsic on
+// toolchains where it compiles correctly, a load+CAS loop elsewhere (see
+// bits_fast.go).
+func (c *Cache) mark(name int) bool {
+	w, bit := &c.cached[name>>6], uint64(1)<<(uint(name)&63)
+	if setBit(w, bit)&bit != 0 {
+		c.fail(fmt.Sprintf("leasecache: name %d cached twice", name))
+		return false
+	}
+	c.nCached.Add(1)
+	return true
+}
+
+// unmark clears name's parked bit on its way out of a slot stack,
+// reporting success. A clear bit means the stack held a name the
+// cached-bit array never accounted for — with a handler installed the
+// caller must drop the name (neither grant nor release it: its true state
+// is unknown, and leaking is the fail-safe direction).
+func (c *Cache) unmark(name int) bool {
 	w, bit := &c.cached[name>>6], uint64(1)<<(uint(name)&63)
 	if clearBit(w, bit)&bit == 0 {
-		panic(fmt.Sprintf("leasecache: name %d uncached twice", name))
+		c.fail(fmt.Sprintf("leasecache: name %d uncached twice", name))
+		return false
 	}
 	c.nCached.Add(-1)
+	return true
 }
 
 // parked reports name's cached bit (no step cost).
@@ -188,12 +240,17 @@ func (c *Cache) slotFor(p *shm.Proc) *slot {
 // finally a direct inner acquire; a starved acquire opens the pressure
 // window before reporting the arena full.
 func (c *Cache) Acquire(p *shm.Proc) int {
+	if c.failed.Load() {
+		return c.inner.Acquire(p)
+	}
 	s := c.slotFor(p)
 	if s.mu.TryLock() {
 		for n := len(s.names); n > 0; n = len(s.names) {
 			name := s.names[n-1]
 			s.names = s.names[:n-1]
-			c.unmark(name)
+			if !c.unmark(name) {
+				continue // unaccounted name: drop it, never grant
+			}
 			if c.draining(name) {
 				// A parked claim must not pin a draining level: shed it
 				// to the inner arena and pop the next name instead.
@@ -234,8 +291,14 @@ func (c *Cache) refill(p *shm.Proc, s *slot) int {
 	}
 	name := got[len(got)-1]
 	s.names = got[:len(got)-1]
-	for _, n := range s.names {
-		c.mark(n)
+	for idx, n := range s.names {
+		if !c.mark(n) {
+			// Cache failed mid-refill: the unparked tail goes straight
+			// back to the inner pool, the marked prefix stays parked.
+			c.inner.ReleaseN(p, s.names[idx:])
+			s.names = s.names[:idx]
+			break
+		}
 	}
 	c.refills.Add(1)
 	return name
@@ -252,7 +315,9 @@ func (c *Cache) steal(p *shm.Proc) int {
 		for n := len(s.names); n > 0; n = len(s.names) {
 			name := s.names[n-1]
 			s.names = s.names[:n-1]
-			c.unmark(name)
+			if !c.unmark(name) {
+				continue // unaccounted name: drop it, never grant
+			}
 			if c.draining(name) {
 				c.inner.Release(p, name)
 				continue
@@ -286,6 +351,10 @@ func (c *Cache) relieve() bool {
 // MaxCached (which first spills one whole block back through a coalesced
 // ReleaseN).
 func (c *Cache) Release(p *shm.Proc, name int) {
+	if c.failed.Load() {
+		c.inner.Release(p, name)
+		return
+	}
 	if c.draining(name) {
 		// Spill-on-drain: parking the claim would pin the draining level
 		// forever, so the name goes straight back to the inner pool (which
@@ -306,7 +375,14 @@ func (c *Cache) Release(p *shm.Proc, name int) {
 	if len(s.names) >= c.cfg.MaxCached {
 		spill = c.takeBlock(s)
 	}
-	c.mark(name)
+	if !c.mark(name) {
+		s.mu.Unlock()
+		c.inner.Release(p, name) // cache failed: route around the stacks
+		if spill != nil {
+			c.inner.ReleaseN(p, spill)
+		}
+		return
+	}
 	s.names = append(s.names, name)
 	s.mu.Unlock()
 	if spill != nil {
@@ -323,25 +399,31 @@ func (c *Cache) takeBlock(s *slot) []int {
 	if k > len(s.names) {
 		k = len(s.names)
 	}
-	out := make([]int, k)
-	copy(out, s.names[:k])
-	s.names = append(s.names[:0], s.names[k:]...)
-	for _, n := range out {
-		c.unmark(n)
+	out := make([]int, 0, k)
+	for _, n := range s.names[:k] {
+		if c.unmark(n) {
+			out = append(out, n) // unaccounted names are dropped, not freed
+		}
 	}
+	s.names = append(s.names[:0], s.names[k:]...)
 	return out
 }
 
 // AcquireN implements longlived.Arena: the worker slot serves as much of
 // the batch as it holds; the remainder goes to the inner batch path.
 func (c *Cache) AcquireN(p *shm.Proc, k int, out []int) []int {
+	if c.failed.Load() {
+		return c.inner.AcquireN(p, k, out)
+	}
 	s := c.slotFor(p)
 	if s.mu.TryLock() {
 		for k > 0 && len(s.names) > 0 {
 			n := len(s.names)
 			name := s.names[n-1]
 			s.names = s.names[:n-1]
-			c.unmark(name)
+			if !c.unmark(name) {
+				continue // unaccounted name: drop it, never grant
+			}
 			if c.draining(name) {
 				c.inner.Release(p, name)
 				continue
@@ -366,7 +448,7 @@ func (c *Cache) ReleaseN(p *shm.Proc, names []int) {
 		return
 	}
 	direct := names
-	if !c.relieve() {
+	if !c.failed.Load() && !c.relieve() {
 		s := c.slotFor(p)
 		if s.mu.TryLock() {
 			i := 0
@@ -376,7 +458,9 @@ func (c *Cache) ReleaseN(p *shm.Proc, names []int) {
 					// the inner batch release with it.
 					break
 				}
-				c.mark(names[i])
+				if !c.mark(names[i]) {
+					break // cache failed: the tail goes straight to the pool
+				}
 				s.names = append(s.names, names[i])
 			}
 			s.mu.Unlock()
@@ -397,9 +481,11 @@ func (c *Cache) Flush(p *shm.Proc) int {
 	for i := range c.slots {
 		s := &c.slots[i]
 		s.mu.Lock()
-		buf = append(buf[:0], s.names...)
-		for _, n := range buf {
-			c.unmark(n)
+		buf = buf[:0]
+		for _, n := range s.names {
+			if c.unmark(n) {
+				buf = append(buf, n) // unaccounted names are dropped, not freed
+			}
 		}
 		s.names = s.names[:0]
 		s.mu.Unlock()
@@ -431,6 +517,17 @@ func (c *Cache) purge(name int) bool {
 	}
 	return false
 }
+
+// Parked reports whether name is currently parked on a slot stack (the
+// cached bit; no step cost). The integrity scrubber cross-checks it
+// against the inner claim bit: a parked name must be claimed underneath.
+func (c *Cache) Parked(name int) bool { return c.parked(name) }
+
+// PurgeParked evicts a parked name from the cache, reporting whether it
+// was found. The integrity scrubber calls it for phantom entries — parked
+// names whose inner claim bit is clear — so the cache can never grant a
+// name it holds no claim on.
+func (c *Cache) PurgeParked(name int) bool { return c.purge(name) }
 
 // LeaseDomains implements longlived.Recoverable: the inner arena's
 // domains with Reclaim wrapped to purge the name from the cache first, so

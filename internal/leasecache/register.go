@@ -15,12 +15,13 @@ func init() {
 		// names exist in other workers' slots — so the simulated churn
 		// invariants (every worker completes every cycle) do not apply.
 		Caps: registry.Caps{
-			Releasable: true,
-			Batch:      true,
-			Leasable:   true,
-			Sharded:    true,
-			WordScan:   true,
-			Cached:     true,
+			Releasable:  true,
+			Batch:       true,
+			Leasable:    true,
+			Sharded:     true,
+			WordScan:    true,
+			Cached:      true,
+			SelfHealing: true,
 		},
 		New: func(cfg registry.Config) registry.Arena {
 			// The production shape ArenaConfig.LeaseBlocks wires: per-worker

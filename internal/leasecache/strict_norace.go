@@ -1,0 +1,9 @@
+//go:build !race
+
+package leasecache
+
+// strictConservation is off in production builds: with a corruption handler
+// installed (SetOnCorruption), a conservation violation fails the cache
+// into pass-through mode and surfaces through Arena.Health instead of
+// panicking the process. See strict_race.go for the race-build override.
+const strictConservation = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package leasecache
+
+// strictConservation forces conservation violations to panic even when a
+// corruption handler is installed: under the race detector (tests, CI) a
+// violated invariant should stop the run at the point of detection with a
+// stack, not degrade gracefully past it.
+const strictConservation = true

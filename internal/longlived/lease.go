@@ -66,6 +66,15 @@ type LeaseDomain struct {
 	// holder's counting-device bit here. Called at most once per won
 	// BeginReclaim, between it and FinishReclaim.
 	Reclaim func(p *shm.Proc, i int)
+	// Seize, when non-nil, claims the bare claim bit of domain-local name
+	// i on behalf of maintenance (the integrity scrubber saturating a
+	// quarantined word), reporting whether the bit flipped free→claimed.
+	// It publishes no stamp — the caller installs the quarantine mark
+	// around it — and backends whose claim bit carries side state the
+	// scrubber cannot also take (the τ arena's counting devices, the
+	// elastic ladder's drain accounting) leave it nil: such arenas are
+	// scrub-checkable but not quarantine-capable.
+	Seize func(p *shm.Proc, i int) bool
 }
 
 // Recoverable is the interface of lease-enabled arenas: the recovery

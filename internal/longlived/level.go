@@ -380,6 +380,10 @@ func (a *LevelArena) LeaseDomains() []LeaseDomain {
 			li, loc := a.locate(i)
 			a.levels[li].Free(p, loc)
 		},
+		Seize: func(p *shm.Proc, i int) bool {
+			li, loc := a.locate(i)
+			return a.levels[li].TryClaim(p, loc)
+		},
 	}}
 }
 

@@ -38,6 +38,7 @@ func init() {
 			Releasable:    true,
 			Leasable:      true,
 			Deterministic: true,
+			SelfHealing:   true,
 		},
 		New: func(cfg registry.Config) registry.Arena {
 			return NewLevel(cfg.Capacity, LevelConfig{

@@ -1,0 +1,62 @@
+//go:build unix
+
+package persist
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzPersistSuperblock feeds persist.Open arbitrary file bytes — random
+// lengths included — and requires a clean error or a successful open: never
+// a panic, never a SIGBUS from mapping pages a truncated file does not
+// back. The seed corpus walks the validation chain: empty (fresh-create
+// path), sub-superblock truncations, wrong magic, wrong version, checksum
+// mismatches, and a fully valid 64-name image.
+func FuzzPersistSuperblock(f *testing.F) {
+	valid := func(names uint64) []byte {
+		b := make([]byte, fileSize(int(names)))
+		binary.LittleEndian.PutUint64(b[hMagic*8:], fileMagic)
+		binary.LittleEndian.PutUint64(b[hVersion*8:], fileVersion)
+		binary.LittleEndian.PutUint64(b[hNames*8:], names)
+		binary.LittleEndian.PutUint64(b[hCRC*8:], superCRC(fileMagic, fileVersion, names))
+		return b
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x73})
+	f.Add(make([]byte, hdrWords*8-1))
+	f.Add(make([]byte, hdrWords*8))
+	f.Add(valid(64))
+	f.Add(valid(64)[:hdrWords*8]) // valid header, body truncated
+	tornCRC := valid(64)
+	tornCRC[hCRC*8] ^= 0xff
+	f.Add(tornCRC)
+	hugeNames := valid(64) // checksum-valid absurd count over a small file
+	binary.LittleEndian.PutUint64(hugeNames[hNames*8:], 1<<40)
+	binary.LittleEndian.PutUint64(hugeNames[hCRC*8:], superCRC(fileMagic, fileVersion, 1<<40))
+	f.Add(hugeNames)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ns")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		opt := Options{Holder: 100, TTL: 1}
+		if len(data) == 0 {
+			opt.Names = 64 // empty file is the create path; give it a geometry
+		}
+		a, err := Open(path, opt)
+		if err != nil {
+			return // clean rejection is the expected outcome for junk
+		}
+		// A successful open must be over coherent geometry: exercise it.
+		p := testProc(1)
+		if n := a.Acquire(p); n >= 0 {
+			a.Release(p, n)
+		}
+		a.Sweep(p)
+		a.Close()
+	})
+}

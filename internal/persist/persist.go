@@ -50,7 +50,9 @@
 package persist
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/bits"
 	"os"
 	"sync/atomic"
@@ -65,15 +67,38 @@ import (
 
 const (
 	// fileMagic spells "shmrenam" in little-endian byte order.
-	fileMagic   = 0x6d616e65726d6873
-	fileVersion = 1
+	fileMagic = 0x6d616e65726d6873
+	// fileVersion 2 added the superblock checksum word (hCRC); version-1
+	// files predate it and are rejected rather than trusted unchecked.
+	fileVersion = 2
 	hdrWords    = 8
 
 	hMagic   = 0
 	hVersion = 1
 	hNames   = 2
 	hAttach  = 3
+	// hCRC holds the CRC32C (Castagnoli) of the immutable superblock words
+	// (magic, version, name count) at their final values. It is written
+	// before the magic during creation, so a validated magic implies the
+	// checksum is present: a mismatch at open means the header bytes were
+	// torn or flipped after layout, and the geometry cannot be trusted.
+	hCRC = 4
+
+	// maxNames bounds the advertised name count of an attached file: far
+	// above any real namespace, low enough that fileSize cannot overflow
+	// and a corrupt count cannot demand a terabyte mapping.
+	maxNames = 1 << 31
 )
+
+// superCRC computes the superblock checksum: CRC32C over the three
+// immutable header words at their final values.
+func superCRC(magic, version, names uint64) uint64 {
+	var b [24]byte
+	binary.LittleEndian.PutUint64(b[0:], magic)
+	binary.LittleEndian.PutUint64(b[8:], version)
+	binary.LittleEndian.PutUint64(b[16:], names)
+	return uint64(crc32.Checksum(b[:], crc32.MakeTable(crc32.Castagnoli)))
+}
 
 // pidAlive is the default liveness oracle: kill(pid, 0). EPERM means the
 // process exists but belongs to someone else — alive.
@@ -143,6 +168,10 @@ func Open(path string, opt Options) (*Arena, error) {
 			f.Close()
 			return nil, fmt.Errorf("persist: creating %s requires Options.Names", path)
 		}
+		if m > maxNames {
+			f.Close()
+			return nil, fmt.Errorf("persist: %d names exceeds the namespace bound %d", m, int64(maxNames))
+		}
 		if err := f.Truncate(fileSize(m)); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("persist: size %s: %w", path, err)
@@ -150,6 +179,15 @@ func Open(path string, opt Options) (*Arena, error) {
 	}
 	size := fileSize(m)
 	if !fresh {
+		// Validate before mapping: a file shorter than its own superblock
+		// (truncated by an operator, a quota, or a crash during an external
+		// copy) must be rejected here with a descriptive error, not later
+		// with a SIGBUS when a mapped page past EOF is first touched.
+		if st.Size() < hdrWords*8 {
+			f.Close()
+			return nil, fmt.Errorf("persist: %s is %d bytes, too short for a namespace superblock (%d); the file is truncated or not a renaming namespace",
+				path, st.Size(), hdrWords*8)
+		}
 		// Geometry comes from the file; read the superblock through a small
 		// map first when the caller did not pin m.
 		hdrMap, err := syscall.Mmap(int(f.Fd()), 0, hdrWords*8, syscall.PROT_READ, syscall.MAP_SHARED)
@@ -158,7 +196,8 @@ func Open(path string, opt Options) (*Arena, error) {
 			return nil, fmt.Errorf("persist: map header of %s: %w", path, err)
 		}
 		hw := wordsOf(hdrMap)
-		magic, ver, fm := hw[hMagic].Load(), hw[hVersion].Load(), int(hw[hNames].Load())
+		magic, ver := hw[hMagic].Load(), hw[hVersion].Load()
+		names, crc := hw[hNames].Load(), hw[hCRC].Load()
 		syscall.Munmap(hdrMap)
 		if magic != fileMagic {
 			f.Close()
@@ -168,6 +207,15 @@ func Open(path string, opt Options) (*Arena, error) {
 			f.Close()
 			return nil, fmt.Errorf("persist: %s layout version %d, want %d", path, ver, fileVersion)
 		}
+		if want := superCRC(magic, ver, names); crc != want {
+			f.Close()
+			return nil, fmt.Errorf("persist: %s superblock checksum %#x, want %#x: header torn or corrupted", path, crc, want)
+		}
+		if names == 0 || names > maxNames {
+			f.Close()
+			return nil, fmt.Errorf("persist: %s advertises %d names, outside [1, %d]", path, names, int64(maxNames))
+		}
+		fm := int(names)
 		if m != 0 && m != fm {
 			f.Close()
 			return nil, fmt.Errorf("persist: %s holds %d names, caller wants %d", path, fm, m)
@@ -190,8 +238,12 @@ func Open(path string, opt Options) (*Arena, error) {
 		// Geometry before magic: if the creator crashes mid-layout the file
 		// has no magic, and every later open (serialized behind the flock)
 		// rejects it with an error rather than mapping half-written state.
+		// The checksum — computed over the final header values — goes in
+		// just before the magic, so a validated magic implies a present
+		// checksum and the two must agree.
 		hdr[hVersion].Store(fileVersion)
 		hdr[hNames].Store(uint64(m))
+		hdr[hCRC].Store(superCRC(fileMagic, fileVersion, uint64(m)))
 		hdr[hMagic].Store(fileMagic)
 	}
 	// Layout settled; later openers only validate. Everything past this
@@ -333,6 +385,7 @@ func (a *Arena) LeaseDomains() []longlived.LeaseDomain {
 		Stamps:  a.stamps,
 		IsHeld:  a.ns.Probe,
 		Reclaim: func(p *shm.Proc, i int) { a.ns.Free(p, i) },
+		Seize:   func(p *shm.Proc, i int) bool { return a.ns.TryClaim(p, i) },
 	}}
 }
 

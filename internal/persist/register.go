@@ -18,10 +18,11 @@ func init() {
 		// claims are always lease-stamped, so Leasable holds even without
 		// Config.Epochs; the wall clock default makes it non-deterministic.
 		Caps: registry.Caps{
-			Releasable: true,
-			Batch:      true,
-			Leasable:   true,
-			External:   true,
+			Releasable:  true,
+			Batch:       true,
+			Leasable:    true,
+			External:    true,
+			SelfHealing: true,
 		},
 		New: func(cfg registry.Config) registry.Arena {
 			f, err := os.CreateTemp("", "shmrename-registry-*.arena")

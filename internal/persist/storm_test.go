@@ -1,0 +1,92 @@
+//go:build unix
+
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"shmrename/internal/integrity"
+	"shmrename/internal/shm"
+)
+
+// TestPersistKillStorm is the E21 cross-process storm: generations of real
+// child processes attach to one namespace file, claim names, and are all
+// SIGKILLed mid-hold; each following generation's on-open recovery must
+// hand the pool back whole. Across the entire storm no name may ever be
+// granted to two live holders at once, and after the last generation an
+// integrity scrub must find a clean arena — repeated SIGKILL is violent
+// but not corrupting, so the scrubber quarantines nothing and a second
+// pass is idle.
+func TestPersistKillStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks real processes")
+	}
+	const (
+		generations = 3
+		childrenPer = 2
+		perChild    = 8
+		capacity    = 64
+	)
+	path := filepath.Join(t.TempDir(), "ns")
+	parent := openT(t, path, Options{Names: capacity, TTL: 1})
+
+	for gen := 0; gen < generations; gen++ {
+		kids := make([]*child, childrenPer)
+		seen := map[int]bool{}
+		for i := range kids {
+			kids[i] = spawnChild(t, path, perChild)
+			for _, n := range kids[i].names {
+				if seen[n] {
+					t.Fatalf("generation %d: name %d granted to two live children", gen, n)
+				}
+				seen[n] = true
+				if !parent.IsHeld(n) {
+					t.Fatalf("generation %d: child-held name %d invisible to parent", gen, n)
+				}
+			}
+		}
+		for _, c := range kids {
+			c.kill(t)
+		}
+		time.Sleep(5 * time.Millisecond) // let the 1ms TTL lapse
+
+		// The next generation is a fresh process attachment: its on-open
+		// sweep must recover every killed child's names before first use.
+		next, err := Open(path, Options{TTL: 1})
+		if err != nil {
+			t.Fatalf("generation %d reattach: %v", gen, err)
+		}
+		next.Sweep(testProc(1000 + gen)) // the open-time sweep may have raced the TTL
+		if held := next.Held(); held != 0 {
+			t.Fatalf("generation %d: %d names still held after the storm sweep", gen, held)
+		}
+		got := next.AcquireN(testProc(1000+gen), capacity, nil)
+		if len(got) != capacity {
+			t.Fatalf("generation %d: pool not whole, %d of %d grantable", gen, len(got), capacity)
+		}
+		next.ReleaseN(testProc(1000+gen), got)
+		if err := next.Close(); err != nil {
+			t.Fatalf("generation %d close: %v", gen, err)
+		}
+	}
+
+	// SIGKILL leaves stale state, never corrupt state: the scrub must find
+	// nothing irreparable, quarantine nothing, and reach a fixed point. The
+	// wall clock matches the stamps the children wrote.
+	s := integrity.NewScrubber(parent, integrity.Config{
+		Epochs: shm.WallEpochs{}, TTL: 1, Quarantine: true,
+	})
+	first := s.Scrub(testProc(2000))
+	if first.Unrepaired != 0 || first.Quarantined != 0 {
+		t.Fatalf("post-storm scrub found damage: %+v", first)
+	}
+	second := s.Scrub(testProc(2000))
+	if second.Repaired+second.Quarantined+second.Unrepaired != 0 {
+		t.Fatalf("post-storm scrub not idle: %+v", second)
+	}
+	if q := s.QuarantinedNames(); q != 0 {
+		t.Fatalf("post-storm scrub quarantined %d names of an uncorrupted arena", q)
+	}
+}

@@ -172,6 +172,12 @@ func (s *Sweeper) sweepOne(p *shm.Proc, d longlived.LeaseDomain, i int, now uint
 		if held && d.Stamps.Adopt(i, now) {
 			res.Adopted++
 		}
+	case h == shm.HolderQuarantine:
+		// The integrity scrubber withdrew the name after detecting
+		// irreparable word damage. The quarantine is deliberate and
+		// permanent: it never goes stale and is never reclaimed, or the
+		// damaged word would re-enter circulation.
+		return
 	case h == shm.HolderSuspect:
 		// A reaper crashed between BeginReclaim and FinishReclaim. Resuming
 		// goes through the same two-phase reclaim: CAS the stale mark to a

@@ -83,6 +83,9 @@ func Suite(t *testing.T, b registry.Backend) {
 	if b.Caps.Elastic {
 		t.Run("elastic-resize", func(t *testing.T) { lawElastic(t, b) })
 	}
+	if b.Caps.SelfHealing {
+		t.Run("self-healing", func(t *testing.T) { lawSelfHealing(t, b) })
+	}
 	t.Run("sentinels", func(t *testing.T) { lawSentinels(t, b) })
 }
 

@@ -162,6 +162,15 @@ type Caps struct {
 	// gates its resize laws (grow-then-fill uniqueness, shrink-never-
 	// reclaims-held, storm-under-forced-resizes) on this flag.
 	Elastic bool
+	// SelfHealing backends expose maintenance-side bit seizure
+	// (longlived.LeaseDomain.Seize) alongside their lease stamps, so the
+	// integrity scrubber can quarantine irreparably damaged bitmap words —
+	// withdraw them from circulation — instead of merely reporting them.
+	// Backends whose claim bits carry side state the scrubber cannot also
+	// take (the τ arena's counting devices, the elastic ladder's drain
+	// accounting) are scrub-checkable but not self-healing. Gates the
+	// conformance quarantine law.
+	SelfHealing bool
 	// DenseProcs backends require concurrently active proc IDs to be
 	// pairwise distinct modulo Config.Procs (the classic shared-memory model
 	// of N known processes — the exclusive-selection tournament assigns

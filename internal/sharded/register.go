@@ -23,6 +23,7 @@ func init() {
 			Sharded:       true,
 			WordScan:      true,
 			Deterministic: true,
+			SelfHealing:   true,
 		},
 		New: func(cfg registry.Config) registry.Arena {
 			shards := cfg.Shards

@@ -76,10 +76,16 @@ const (
 	HolderSuspect = stampHolderMax - 1
 	// HolderTomb marks a completed reclaim. Claimable, like a zero stamp.
 	HolderTomb = stampHolderMax - 2
+	// HolderQuarantine marks a name the integrity scrubber (package
+	// integrity) withdrew from circulation after detecting irreparable
+	// state damage in its bitmap word. Never claimable, never stale: a
+	// quarantined name keeps its claim bit set and its quarantine stamp
+	// until the namespace is rebuilt. Recovery sweeps skip it explicitly.
+	HolderQuarantine = stampHolderMax - 3
 	// MaxHolder is the largest valid client holder identity. Client
 	// holders lie in [1, MaxHolder]; 0 is reserved so that a zero stamp
 	// always means "unheld".
-	MaxHolder = stampHolderMax - 3
+	MaxHolder = stampHolderMax - 4
 )
 
 // PackStamp packs a holder identity and a lease epoch into one stamp word.
@@ -316,6 +322,27 @@ func (st *Stamps) FinishReclaim(i int, suspectEpoch, epoch uint64) bool {
 // tombstone): CAS the observed value to zero. Reaper-side; no process step.
 func (st *Stamps) Drop(i int, observed uint64) bool {
 	return st.words[i].CompareAndSwap(observed, 0)
+}
+
+// Quarantine withdraws name i from circulation: CAS the exact stamp the
+// scrubber observed to a quarantine mark dated epoch. Losing the CAS means
+// the stamp moved — a publisher claimed the slot or a reaper got there
+// first — and the scrubber must re-observe before acting. A quarantine
+// stamp is never claimable (StampClaimable rejects it, so a claimant who
+// wins the bit walks away leaving it set) and never reclaimed (the
+// recovery sweep skips HolderQuarantine explicitly), which makes the
+// quarantine durable: on mmap-backed namespaces it survives process
+// generations in the stamp page itself. Scrubber-side; no process step.
+func (st *Stamps) Quarantine(i int, observed, epoch uint64) bool {
+	return st.words[i].CompareAndSwap(observed, PackStamp(HolderQuarantine, epoch))
+}
+
+// Inject stores an arbitrary raw stamp value, bypassing every protocol
+// transition. It exists solely for fault injection — the chaos harness and
+// the integrity conformance law plant corrupt states with it — and, like
+// SetCrashHook, appears on no real path.
+func (st *Stamps) Inject(i int, v uint64) {
+	st.words[i].Store(v)
 }
 
 // CountHolder returns the number of names currently stamped by holder

@@ -65,6 +65,11 @@ func OpenArena(path string, cfg ArenaConfig) (*Arena, error) {
 	if err := lease.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Integrity != nil {
+		if err := cfg.Integrity.validate(); err != nil {
+			return nil, err
+		}
+	}
 	pa, err := persist.Open(path, persist.Options{
 		Names:     cfg.Capacity,
 		TTL:       lease.ttlEpochs(),
@@ -77,5 +82,11 @@ func OpenArena(path string, cfg ArenaConfig) (*Arena, error) {
 	a := &Arena{impl: pa, seed: cfg.Seed}
 	a.closer = pa.Close
 	a.initLease(pa, pa.Holder(), shm.WallEpochs{}, pa.Sweeper(), lease.Reaper)
+	if cfg.Integrity != nil {
+		// Quarantine marks live in the file's stamp page, so a quarantine
+		// survives process generations: any later handle's scrubber
+		// recognizes the damaged words and keeps them out of circulation.
+		a.initIntegrity(cfg.Integrity, lease.ttlEpochs(), shm.WallEpochs{})
+	}
 	return a, nil
 }
